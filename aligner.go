@@ -1,0 +1,45 @@
+package samplealign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bio"
+	"repro/internal/core"
+	"repro/internal/msa"
+)
+
+// aminoAlphabet exposes the standard alphabet to the public helpers
+// without leaking the internal package into signatures.
+func aminoAlphabet() *bio.Alphabet { return bio.AminoAcids }
+
+// coreInprocAligner adapts the distributed aligner to msa.Aligner so the
+// quality harness can evaluate it next to the sequential pipelines.
+type coreInprocAligner struct {
+	p   int
+	cfg core.Config
+}
+
+func (a *coreInprocAligner) Name() string { return fmt.Sprintf("sample-align-d:%d", a.p) }
+
+func (a *coreInprocAligner) Align(seqs []Sequence) (*msa.Alignment, error) {
+	res, err := core.AlignInproc(seqs, a.p, a.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Alignment, nil
+}
+
+// parseSampleAlignName recognises "sample-align-d:<p>" aligner names.
+func parseSampleAlignName(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "sample-align-d:")
+	if !ok {
+		return 0, false
+	}
+	p, err := strconv.Atoi(rest)
+	if err != nil || p < 1 {
+		return 0, false
+	}
+	return p, true
+}

@@ -1,0 +1,41 @@
+package samplealign
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/msa"
+)
+
+// LoadAlignment reads an aligned FASTA file (rows of equal width, gaps
+// as '-') and validates it as a multiple alignment.
+func LoadAlignment(path string) (*Alignment, error) {
+	seqs, err := ReadFASTAFile(path)
+	if err != nil {
+		return nil, err
+	}
+	aln := &Alignment{Seqs: seqs}
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return aln, nil
+}
+
+// WriteClustal renders an alignment in CLUSTAL W (.aln) format with the
+// standard conservation line ('*' identical, ':' strong group, '.' weak
+// group).
+func WriteClustal(w io.Writer, a *Alignment) error {
+	return msa.WriteClustal(w, a)
+}
+
+// ColumnConservation returns a per-column conservation score in [0,1]
+// (1 − normalised residue entropy, scaled by occupancy).
+func ColumnConservation(a *Alignment) []float64 {
+	return msa.ColumnConservation(a, aminoAlphabet())
+}
+
+// ConservedBlocks returns the column ranges [start,end) whose
+// conservation is at least minScore over at least minLen columns.
+func ConservedBlocks(a *Alignment, minScore float64, minLen int) [][2]int {
+	return msa.ConservedBlocks(a, aminoAlphabet(), minScore, minLen)
+}

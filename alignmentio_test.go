@@ -1,0 +1,65 @@
+package samplealign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadAlignment(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/good.fa"
+	if err := WriteFASTAFile(good, []Sequence{
+		NewSequence("a", "AC-EF"),
+		NewSequence("b", "ACDEF"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	aln, err := LoadAlignment(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NumSeqs() != 2 || aln.Width() != 5 {
+		t.Fatalf("loaded %d×%d", aln.NumSeqs(), aln.Width())
+	}
+
+	bad := dir + "/bad.fa"
+	if err := WriteFASTAFile(bad, []Sequence{
+		NewSequence("a", "ACEF"),
+		NewSequence("b", "ACDEF"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAlignment(bad); err == nil {
+		t.Fatal("ragged file accepted as alignment")
+	}
+}
+
+func TestWriteClustalPublic(t *testing.T) {
+	seqs := testSeqs(t, 6)
+	aln, _, err := Align(seqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteClustal(&b, aln); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "CLUSTAL W") {
+		t.Fatalf("output: %.40q", b.String())
+	}
+}
+
+func TestConservationPublic(t *testing.T) {
+	aln := &Alignment{Seqs: []Sequence{
+		NewSequence("a", "MMMMMWCY"),
+		NewSequence("b", "MMMMMCWY"),
+	}}
+	cons := ColumnConservation(aln)
+	if len(cons) != 8 {
+		t.Fatalf("%d scores", len(cons))
+	}
+	blocks := ConservedBlocks(aln, 0.99, 5)
+	if len(blocks) != 1 || blocks[0] != [2]int{0, 5} {
+		t.Fatalf("blocks: %v", blocks)
+	}
+}

@@ -1,0 +1,504 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md §5 and
+// micro-benchmarks of the hot kernels.
+//
+// Real runs execute the actual distributed pipeline at laptop scale
+// (hundreds of sequences); paper-scale numbers (N up to 20000, the
+// 23-hour baseline) come from the calibrated cluster cost model and are
+// emitted as custom metrics (suffix _sim). cmd/msabench prints the same
+// experiments as human-readable tables; EXPERIMENTS.md records
+// paper-vs-measured.
+package samplealign
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/pairwise"
+	"repro/internal/prefab"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/submat"
+	"repro/internal/tree"
+)
+
+// ---- shared fixtures (built once) ----
+
+var fixtures struct {
+	once      sync.Once
+	fam500    []bio.Sequence // Fig. 1 scale (N=500)
+	fam1000   []bio.Sequence // Table 1 / Fig. 3 scale (laptop substitute for 5000)
+	famBench  []bio.Sequence // Fig. 4/5 real-run scale
+	genome160 []bio.Sequence // Fig. 6 real-run scale
+	prefabS   []prefab.Set   // Table 2 sets
+}
+
+func loadFixtures(b *testing.B) {
+	b.Helper()
+	fixtures.once.Do(func() {
+		// Phylogenetically diverse mixtures (many families of varied
+		// divergence) — the workload the paper targets; single deep
+		// families saturate every rank to the same value.
+		f1, err := GenerateDiverseSet(500, 120, 101)
+		if err != nil {
+			panic(err)
+		}
+		fixtures.fam500 = f1
+		f2, err := GenerateDiverseSet(1000, 120, 102)
+		if err != nil {
+			panic(err)
+		}
+		fixtures.fam1000 = f2
+		f3, err := GenerateDiverseSet(256, 100, 103)
+		if err != nil {
+			panic(err)
+		}
+		fixtures.famBench = f3
+		seqs, err := SampleGenomeProteins(GenomeConfig{TargetBP: 300000, MeanProteinLen: 110, Seed: 104}, 160, 105)
+		if err != nil {
+			panic(err)
+		}
+		fixtures.genome160 = seqs
+		sets, err := prefab.Generate(prefab.Config{NumSets: 3, SeqsPerSet: 12, MeanLen: 110, Seed: 106})
+		if err != nil {
+			panic(err)
+		}
+		fixtures.prefabS = sets
+	})
+}
+
+func centralAndGlobalRanks(seqs []bio.Sequence, p int) (central, global []float64) {
+	counter := kmer.MustCounter(bio.Dayhoff6, kmer.DefaultK)
+	profiles := counter.Profiles(seqs, 0)
+	central = kmer.Ranks(profiles, profiles, kmer.DefaultRankScale, 0)
+	// globalised: k·p regular samples, k = p−1 per "processor" block
+	k := p - 1
+	var samplePool []kmer.Profile
+	n := len(seqs)
+	for r := 0; r < p; r++ {
+		lo, hi := r*n/p, (r+1)*n/p
+		for i := 0; i < k; i++ {
+			idx := lo + (i+1)*(hi-lo)/(k+1)
+			if idx >= hi {
+				idx = hi - 1
+			}
+			samplePool = append(samplePool, profiles[idx])
+		}
+	}
+	global = kmer.Ranks(profiles, samplePool, kmer.DefaultRankScale, 0)
+	return central, global
+}
+
+// ---- Fig. 1: centralised vs globalised rank distributions (N=500) ----
+
+func BenchmarkFig1RankDistributions(b *testing.B) {
+	loadFixtures(b)
+	var central, global []float64
+	for i := 0; i < b.N; i++ {
+		central, global = centralAndGlobalRanks(fixtures.fam500, 16)
+	}
+	sc, sg := stats.Summarize(central), stats.Summarize(global)
+	b.ReportMetric(sc.Mean, "centralMean")
+	b.ReportMetric(sg.Mean, "globalMean")
+	b.ReportMetric(sc.StdDev, "centralStdDev")
+	b.ReportMetric(sg.StdDev, "globalStdDev")
+}
+
+// ---- Table 1: statistics of globalised vs centralised rank ----
+
+func BenchmarkTable1GlobalizedVsCentralized(b *testing.B) {
+	loadFixtures(b)
+	var central, global []float64
+	for i := 0; i < b.N; i++ {
+		central, global = centralAndGlobalRanks(fixtures.fam1000, 16)
+	}
+	sc, sg := stats.Summarize(central), stats.Summarize(global)
+	variance, stddev, err := stats.DiffStats(global, central)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(sc.Max, "centralMax")
+	b.ReportMetric(sg.Max, "globalMax")
+	b.ReportMetric(sc.Mean, "centralAvg")
+	b.ReportMetric(sg.Mean, "globalAvg")
+	b.ReportMetric(variance, "varianceWrtCentral")
+	b.ReportMetric(stddev, "stdDevWrtCentral")
+}
+
+// ---- Fig. 3: input rank distribution (evenly spread) ----
+
+func BenchmarkFig3InputRankDistribution(b *testing.B) {
+	loadFixtures(b)
+	counter := kmer.MustCounter(bio.Dayhoff6, kmer.DefaultK)
+	var ranks []float64
+	for i := 0; i < b.N; i++ {
+		profiles := counter.Profiles(fixtures.fam1000, 0)
+		ranks = kmer.Ranks(profiles, profiles, kmer.DefaultRankScale, 0)
+	}
+	s := stats.Summarize(ranks)
+	h := stats.NewHistogram(ranks, 10)
+	occupied := 0
+	for _, c := range h.Counts {
+		if c > 0 {
+			occupied++
+		}
+	}
+	b.ReportMetric(s.Mean, "rankMean")
+	b.ReportMetric(s.Max-s.Min, "rankSpread")
+	b.ReportMetric(float64(occupied), "occupiedBins10")
+}
+
+// ---- Fig. 4: execution time vs processors ----
+
+func BenchmarkFig4ScalingTime(b *testing.B) {
+	loadFixtures(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("real/N=256/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AlignInproc(fixtures.famBench, p, core.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// paper-scale simulated series (one metric per point)
+	cal := cluster.Synthetic()
+	for _, n := range []int{5000, 10000, 20000} {
+		for _, p := range []int{1, 4, 8, 12, 16} {
+			b.Run(fmt.Sprintf("sim/N=%d/p=%d", n, p), func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					ph, err := cal.SampleAlignD(n, 300, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = ph.Total
+				}
+				b.ReportMetric(total, "seconds_sim")
+			})
+		}
+	}
+}
+
+// ---- Fig. 5: superlinear speedup ----
+
+func BenchmarkFig5Speedup(b *testing.B) {
+	loadFixtures(b)
+	b.Run("real/N=256", func(b *testing.B) {
+		var t1, t4 float64
+		for i := 0; i < b.N; i++ {
+			r1, err := core.AlignInproc(fixtures.famBench, 1, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r4, err := core.AlignInproc(fixtures.famBench, 4, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			t1 = r1.Stats[0].Timings.Total.Seconds()
+			t4 = r4.Stats[0].Timings.Total.Seconds()
+		}
+		if t4 > 0 {
+			b.ReportMetric(t1/t4, "speedup_p4")
+		}
+	})
+	cal := cluster.Synthetic()
+	for _, n := range []int{5000, 10000, 20000} {
+		b.Run(fmt.Sprintf("sim/N=%d", n), func(b *testing.B) {
+			var s4, s16 float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				s4, err = cal.Speedup(n, 300, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s16, err = cal.Speedup(n, 300, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(s4, "speedup_p4_sim")
+			b.ReportMetric(s16, "speedup_p16_sim")
+		})
+	}
+}
+
+// ---- Fig. 6: genome proteins, sequential MUSCLE vs Sample-Align-D ----
+
+func BenchmarkFig6GenomeAlignment(b *testing.B) {
+	loadFixtures(b)
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("real/N=160/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AlignInproc(fixtures.genome160, p, core.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sim/paper-scale", func(b *testing.B) {
+		cal := cluster.Genome()
+		var seq, par float64
+		for i := 0; i < b.N; i++ {
+			seq = cal.SequentialMuscle(2000, 316)
+			ph, err := cal.SampleAlignD(2000, 316, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			par = ph.Total
+		}
+		b.ReportMetric(seq/3600, "seqMuscle_hours_sim")
+		b.ReportMetric(par/60, "sampleAlignD16_minutes_sim")
+		b.ReportMetric(seq/par, "speedup_sim")
+	})
+}
+
+// ---- Table 2: PREFAB Q scores per method ----
+
+func BenchmarkTable2PrefabQScores(b *testing.B) {
+	loadFixtures(b)
+	methods := []string{"muscle", "muscle-refined", "clustal", "tcoffee", "nwnsi", "fftnsi", "sample-align-d:4"}
+	for _, name := range methods {
+		b.Run(name, func(b *testing.B) {
+			al, err := resolveAligner(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var q float64
+			for i := 0; i < b.N; i++ {
+				q, _, err = prefab.Evaluate(al, fixtures.prefabS)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(q, "Q")
+		})
+	}
+}
+
+// ---- §3: communication-cost shares ----
+
+func BenchmarkCommRounds(b *testing.B) {
+	loadFixtures(b)
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.AlignInproc(fixtures.famBench, 4, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = 0
+		for _, s := range res.Stats {
+			bytes += s.Comm.BytesSent
+		}
+	}
+	b.ReportMetric(float64(bytes), "bytesExchanged")
+}
+
+// ---- ablations (DESIGN.md §5) ----
+
+func BenchmarkAblationSampleSize(b *testing.B) {
+	loadFixtures(b)
+	for _, k := range []int{1, 3, 15} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var maxBucket int
+			for i := 0; i < b.N; i++ {
+				res, err := core.AlignInproc(fixtures.famBench, 4, core.Config{SampleSize: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxBucket = 0
+				for _, sz := range res.Stats[0].BucketSizes {
+					if sz > maxBucket {
+						maxBucket = sz
+					}
+				}
+			}
+			b.ReportMetric(float64(maxBucket), "maxBucket")
+		})
+	}
+}
+
+func BenchmarkAblationSamplingStrategy(b *testing.B) {
+	loadFixtures(b)
+	for _, mode := range []struct {
+		name string
+		s    core.SamplingStrategy
+	}{{"regular", core.RegularSampling}, {"random", core.RandomSampling}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var maxBucket int
+			for i := 0; i < b.N; i++ {
+				res, err := core.AlignInproc(fixtures.famBench, 8, core.Config{Sampling: mode.s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxBucket = 0
+				for _, sz := range res.Stats[0].BucketSizes {
+					if sz > maxBucket {
+						maxBucket = sz
+					}
+				}
+			}
+			b.ReportMetric(float64(maxBucket), "maxBucket")
+			b.ReportMetric(2*float64(len(fixtures.famBench))/8, "bound2NoverP")
+		})
+	}
+}
+
+func BenchmarkAblationFineTune(b *testing.B) {
+	loadFixtures(b)
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"with-GA", false}, {"without-GA", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.AlignInproc(fixtures.famBench, 4, core.Config{NoFineTune: mode.off})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = msa.SPScoreSampled(res.Alignment, submat.BLOSUM62, submat.DefaultProteinGap, 2000, 1)
+			}
+			b.ReportMetric(sp, "sampledSP")
+		})
+	}
+}
+
+func BenchmarkAblationLocalAligner(b *testing.B) {
+	loadFixtures(b)
+	for _, name := range []string{"muscle", "muscle-refined", "nwnsi"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{}
+			al := name
+			cfg.NewLocalAligner = func(workers int) msa.Aligner {
+				a, _ := NewAligner(al, workers)
+				return a
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AlignInproc(fixtures.famBench, 4, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationAlphabet(b *testing.B) {
+	loadFixtures(b)
+	configs := []struct {
+		name string
+		comp *bio.Compressed
+		k    int
+	}{
+		{"dayhoff6-k6", bio.Dayhoff6, 6},
+		{"seb14-k5", bio.SEB14, 5},
+		{"full20-k4", bio.Identity(bio.AminoAcids), 4},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			counter := kmer.MustCounter(c.comp, c.k)
+			for i := 0; i < b.N; i++ {
+				profiles := counter.Profiles(fixtures.fam500, 0)
+				kmer.DistanceMatrix(profiles, 0)
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks of the hot kernels ----
+
+func BenchmarkKmerProfile(b *testing.B) {
+	loadFixtures(b)
+	counter := kmer.MustCounter(bio.Dayhoff6, 6)
+	data := fixtures.fam500[0].Data
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		counter.Profile(data)
+	}
+}
+
+func BenchmarkKmerDistance(b *testing.B) {
+	loadFixtures(b)
+	counter := kmer.MustCounter(bio.Dayhoff6, 6)
+	pa := counter.Profile(fixtures.fam500[0].Data)
+	pb := counter.Profile(fixtures.fam500[1].Data)
+	for i := 0; i < b.N; i++ {
+		kmer.Distance(pa, pb)
+	}
+}
+
+func BenchmarkPairwiseGlobal(b *testing.B) {
+	loadFixtures(b)
+	al := pairwise.NewProtein()
+	x := fixtures.fam500[0].Data
+	y := fixtures.fam500[1].Data
+	b.SetBytes(int64(len(x) + len(y)))
+	for i := 0; i < b.N; i++ {
+		al.Global(x, y)
+	}
+}
+
+func BenchmarkProfileProfileAlign(b *testing.B) {
+	loadFixtures(b)
+	sub := submat.BLOSUM62
+	a1, err := msa.MuscleLike(0).Align(fixtures.fam500[:8])
+	if err != nil {
+		b.Fatal(err)
+	}
+	a2, err := msa.MuscleLike(0).Align(fixtures.fam500[8:16])
+	if err != nil {
+		b.Fatal(err)
+	}
+	p1, _ := a1.Profile(sub.Alphabet())
+	p2, _ := a2.Profile(sub.Alphabet())
+	al := profile.NewAligner(sub, submat.DefaultProteinGap)
+	for i := 0; i < b.N; i++ {
+		al.Align(p1, p2)
+	}
+}
+
+func BenchmarkUPGMA(b *testing.B) {
+	loadFixtures(b)
+	counter := kmer.MustCounter(bio.Dayhoff6, 6)
+	profiles := counter.Profiles(fixtures.fam500, 0)
+	d := kmer.DistanceMatrix(profiles, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.UPGMA(d, nil)
+	}
+}
+
+func BenchmarkMuscleLikeEndToEnd(b *testing.B) {
+	loadFixtures(b)
+	seqs := fixtures.famBench[:64]
+	for i := 0; i < b.N; i++ {
+		if _, err := msa.MuscleLike(0).Align(seqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPIAllToAll(b *testing.B) {
+	payload := make([]byte, 64*1024)
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(8, func(c mpi.Comm) error {
+			parts := make([][]byte, 8)
+			for q := range parts {
+				parts[q] = payload
+			}
+			_, err := mpi.AllToAll(c, 1, parts)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * 7 * len(payload)))
+}

@@ -1,0 +1,413 @@
+// Command msabench regenerates every table and figure of the paper's
+// evaluation section. Real experiments run the actual distributed
+// pipeline at laptop scale; paper-scale series come from the calibrated
+// Beowulf cost model (see internal/cluster). EXPERIMENTS.md is written
+// from this tool's output.
+//
+// Usage:
+//
+//	msabench -exp all            # everything
+//	msabench -exp fig4           # one experiment
+//	msabench -exp table2 -quick  # smaller PREFAB benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	samplealign "repro"
+	"repro/internal/bio"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kmer"
+	"repro/internal/msa"
+	"repro/internal/prefab"
+	"repro/internal/stats"
+	"repro/internal/submat"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1|table1|fig3|fig4|fig5|fig6|table2|comm|all")
+	quick := flag.Bool("quick", false, "reduce real-run sizes for fast smoke runs")
+	seed := flag.Int64("seed", 2008, "master RNG seed")
+	flag.Parse()
+
+	r := &runner{quick: *quick, seed: *seed}
+	experiments := map[string]func() error{
+		"fig1":   r.fig1,
+		"table1": r.table1,
+		"fig3":   r.fig3,
+		"fig4":   r.fig4,
+		"fig5":   r.fig5,
+		"fig6":   r.fig6,
+		"table2": r.table2,
+		"comm":   r.comm,
+	}
+	order := []string{"fig1", "table1", "fig3", "fig4", "fig5", "fig6", "table2", "comm"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := experiments[strings.TrimSpace(name)]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %v, all)\n", name, order)
+				os.Exit(2)
+			}
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	for _, name := range names {
+		if err := experiments[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	quick bool
+	seed  int64
+
+	diverse []bio.Sequence // cached Fig. 1/3/Table 1 input
+}
+
+func (r *runner) header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func (r *runner) diverseSet(n int) ([]bio.Sequence, error) {
+	if r.quick && n > 400 {
+		n = 400
+	}
+	if len(r.diverse) >= n {
+		return r.diverse[:n], nil
+	}
+	seqs, err := samplealign.GenerateDiverseSet(n, 150, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	r.diverse = seqs
+	return seqs, nil
+}
+
+// centralGlobal computes centralised and globalised (k·p samples) ranks.
+func centralGlobal(seqs []bio.Sequence, p int) (central, global []float64) {
+	counter := kmer.MustCounter(bio.Dayhoff6, kmer.DefaultK)
+	profiles := counter.Profiles(seqs, 0)
+	central = kmer.Ranks(profiles, profiles, kmer.DefaultRankScale, 0)
+	k := p - 1
+	var pool []kmer.Profile
+	n := len(seqs)
+	for rk := 0; rk < p; rk++ {
+		lo, hi := rk*n/p, (rk+1)*n/p
+		for i := 0; i < k; i++ {
+			idx := lo + (i+1)*(hi-lo)/(k+1)
+			if idx >= hi {
+				idx = hi - 1
+			}
+			pool = append(pool, profiles[idx])
+		}
+	}
+	global = kmer.Ranks(profiles, pool, kmer.DefaultRankScale, 0)
+	return central, global
+}
+
+func (r *runner) fig1() error {
+	r.header("Fig. 1 — k-mer rank distribution, centralised vs globalised (N=500)")
+	seqs, err := r.diverseSet(500)
+	if err != nil {
+		return err
+	}
+	central, global := centralGlobal(seqs, 16)
+	fmt.Println("centralised ranks:")
+	fmt.Print(stats.NewHistogram(central, 12).Render(40))
+	fmt.Println("globalised ranks (k·p = 240 samples):")
+	fmt.Print(stats.NewHistogram(global, 12).Render(40))
+	corr, err := stats.Correlation(central, global)
+	if err == nil {
+		fmt.Printf("pearson(central, globalised) = %.4f (paper: distributions track closely)\n", corr)
+	}
+	return nil
+}
+
+func (r *runner) table1() error {
+	r.header("Table 1 — statistics of globalised vs centralised rank (paper: N=5000)")
+	n := 2000
+	seqs, err := r.diverseSet(n)
+	if err != nil {
+		return err
+	}
+	central, global := centralGlobal(seqs, 16)
+	sc, sg := stats.Summarize(central), stats.Summarize(global)
+	variance, stddev, err := stats.DiffStats(global, central)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("N = %d sequences (scaled from the paper's 5000)\n", len(seqs))
+	fmt.Printf("%-40s (%8.5f, %8.5f)\n", "(Maximum, Minimum) Central", sc.Max, sc.Min)
+	fmt.Printf("%-40s %8.5f\n", "Average Centralized", sc.Mean)
+	fmt.Printf("%-40s (%8.5f, %8.5f)\n", "(Maximum, Minimum) Globalized", sg.Max, sg.Min)
+	fmt.Printf("%-40s %8.5f\n", "Average Globalized", sg.Mean)
+	fmt.Printf("%-40s %8.5f\n", "Variance w.r.t. Centralized", variance)
+	fmt.Printf("%-40s %8.5f\n", "Standard Dev. w.r.t Centralized", stddev)
+	fmt.Println("paper reference: max 1.462/1.448, avg 1.113/0.723, var 0.332, σ 0.576")
+	return nil
+}
+
+func (r *runner) fig3() error {
+	r.header("Fig. 3 — rank distribution of the experiment input")
+	seqs, err := r.diverseSet(2000)
+	if err != nil {
+		return err
+	}
+	counter := kmer.MustCounter(bio.Dayhoff6, kmer.DefaultK)
+	profiles := counter.Profiles(seqs, 0)
+	ranks := kmer.Ranks(profiles, profiles, kmer.DefaultRankScale, 0)
+	fmt.Print(stats.NewHistogram(ranks, 14).Render(40))
+	s := stats.Summarize(ranks)
+	fmt.Printf("mean %.4f  spread %.4f  (paper: \"in general evenly distributed\")\n",
+		s.Mean, s.Max-s.Min)
+	return nil
+}
+
+func (r *runner) fig4() error {
+	r.header("Fig. 4 — execution time vs processors")
+	// Real laptop-scale runs. In-process ranks share this machine's
+	// cores, so wall-clock gains are bounded by core count; the
+	// algorithmic gain (total work falling with p) shows in the trend.
+	n := 1024
+	if r.quick {
+		n = 128
+	}
+	seqs, err := samplealign.GenerateDiverseSet(n, 120, r.seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("real runs (N=%d, in-process ranks sharing local cores):\n", n)
+	fmt.Printf("%6s %12s\n", "p", "seconds")
+	for _, p := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+			return err
+		}
+		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
+	}
+	// paper-scale simulated series
+	cal := cluster.Synthetic()
+	fmt.Println("\nsimulated paper scale (calibrated Beowulf model, L=300):")
+	fmt.Printf("%8s %10s %10s %10s\n", "p", "N=5000", "N=10000", "N=20000")
+	for _, p := range []int{1, 4, 8, 12, 16} {
+		fmt.Printf("%8d", p)
+		for _, n := range []int{5000, 10000, 20000} {
+			ph, err := cal.SampleAlignD(n, 300, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %9.1fs", ph.Total)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper reference: curves decline sharply with p; 20000@16 ≈ tens of seconds")
+	return nil
+}
+
+func (r *runner) fig5() error {
+	r.header("Fig. 5 — speedup curves (superlinear)")
+	n := 1024
+	if r.quick {
+		n = 128
+	}
+	seqs, err := samplealign.GenerateDiverseSet(n, 120, r.seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("real runs (N=%d):\n%6s %12s %10s\n", n, "p", "seconds", "speedup")
+	var t1 float64
+	for _, p := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		if p == 1 {
+			t1 = secs
+		}
+		fmt.Printf("%6d %12.3f %10.2f\n", p, secs, t1/secs)
+	}
+	cal := cluster.Synthetic()
+	fmt.Println("\nsimulated paper scale:")
+	fmt.Printf("%8s %10s %10s %10s\n", "p", "N=5000", "N=10000", "N=20000")
+	for _, p := range []int{4, 8, 12, 16} {
+		fmt.Printf("%8d", p)
+		for _, n := range []int{5000, 10000, 20000} {
+			s, err := cal.Speedup(n, 300, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %10.1f", s)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper reference: superlinear; N=5000/10000 dip at p=16, N=20000 keeps rising")
+	return nil
+}
+
+func (r *runner) fig6() error {
+	r.header("Fig. 6 — 2000 Methanosarcina acetivorans proteins")
+	n := 256
+	if r.quick {
+		n = 96
+	}
+	seqs, err := samplealign.SampleGenomeProteins(
+		samplealign.GenomeConfig{TargetBP: 600000, MeanProteinLen: 120, Seed: r.seed + 2}, n, r.seed+3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("real runs (synthetic genome sample, N=%d):\n%6s %12s\n", n, "p", "seconds")
+	for _, p := range []int{1, 4, 8} {
+		start := time.Now()
+		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+			return err
+		}
+		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
+	}
+	cal := cluster.Genome()
+	fmt.Println("\nsimulated paper scale (N=2000, L=316):")
+	seq := cal.SequentialMuscle(2000, 316)
+	fmt.Printf("  sequential MUSCLE:        %8.1f s (%.1f h; paper ≈ 23 h)\n", seq, seq/3600)
+	for _, p := range []int{4, 8, 12, 16} {
+		ph, err := cal.SampleAlignD(2000, 316, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  sample-align-d p=%-2d:      %8.1f s (%.2f min, %.0f× vs MUSCLE)\n",
+			p, ph.Total, ph.Total/60, seq/ph.Total)
+	}
+	fmt.Println("paper reference: 9.82 min on 16 nodes, a 142× speedup")
+	return nil
+}
+
+func (r *runner) table2() error {
+	r.header("Table 2 — PREFAB Q scores")
+	numSets, perSet, meanLen := 12, 20, 160
+	if r.quick {
+		numSets, perSet, meanLen = 4, 10, 100
+	}
+	// Default divergence band (relatedness 1000–1800) puts the reference
+	// pairs in the twilight zone, where the paper's Q band (0.54–0.65)
+	// lives; see internal/prefab.
+	sets, err := prefab.Generate(prefab.Config{
+		NumSets: numSets, SeqsPerSet: perSet, MeanLen: meanLen,
+		Seed: r.seed + 4,
+	})
+	if err != nil {
+		return err
+	}
+	methods := []struct{ label, name string }{
+		{"Sample-Align-D (p=4)", "sample-align-d:4"},
+		{"MUSCLE", "muscle-refined"},
+		{"MUSCLE-p (draft)", "muscle"},
+		{"T-Coffee", "tcoffee"},
+		{"NWNSI", "nwnsi"},
+		{"FFTNSI", "fftnsi"},
+		{"CLUSTALW", "clustal"},
+	}
+	paperQ := map[string]float64{
+		"Sample-Align-D (p=4)": 0.544, "MUSCLE": 0.645, "MUSCLE-p (draft)": 0.634,
+		"T-Coffee": 0.615, "NWNSI": 0.615, "FFTNSI": 0.591, "CLUSTALW": 0.563,
+	}
+	fmt.Printf("%-24s %10s %10s %10s\n", "METHOD", "Q (ours)", "Q (paper)", "seconds")
+	for _, m := range methods {
+		al, err := resolve(m.name)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		q, _, err := prefab.Evaluate(al, sets)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %10.3f %10.3f %10.1f\n", m.label, q, paperQ[m.label], time.Since(start).Seconds())
+	}
+	fmt.Println("shape to check: Sample-Align-D within the band of the sequential tools,")
+	fmt.Println("below full MUSCLE (the paper's fine-grained-partitioning caveat)")
+	return nil
+}
+
+func resolve(name string) (msa.Aligner, error) {
+	if p, ok := strings.CutPrefix(name, "sample-align-d:"); ok {
+		var procs int
+		if _, err := fmt.Sscanf(p, "%d", &procs); err != nil {
+			return nil, err
+		}
+		return &core.InprocAligner{P: procs}, nil
+	}
+	return samplealign.NewAligner(name, 0)
+}
+
+func (r *runner) comm() error {
+	r.header("§3 — communication cost and load balance")
+	n := 512
+	if r.quick {
+		n = 128
+	}
+	seqs, err := samplealign.GenerateDiverseSet(n, 120, r.seed+5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %14s %12s %14s %12s\n", "p", "bytes sent", "messages", "max bucket", "bound 2N/p")
+	for _, p := range []int{2, 4, 8} {
+		res, err := core.AlignInproc(seqs, p, core.Config{})
+		if err != nil {
+			return err
+		}
+		var bytes, msgs int64
+		for _, s := range res.Stats {
+			bytes += s.Comm.BytesSent
+			msgs += s.Comm.MsgsSent
+		}
+		maxBucket := 0
+		for _, sz := range res.Stats[0].BucketSizes {
+			if sz > maxBucket {
+				maxBucket = sz
+			}
+		}
+		fmt.Printf("%6d %14d %12d %14d %12d\n", p, bytes, msgs, maxBucket, 2*n/p)
+	}
+	// SP sanity on a homologous family (the algorithm's stated input
+	// class): the GA fine-tune must beat block-diagonal concatenation.
+	// On sets of mostly unrelated sequences, SP under BLOSUM62 prefers
+	// gapping strangers apart, so a family is the meaningful check.
+	famN := 128
+	if r.quick {
+		famN = 48
+	}
+	fam, err := samplealign.GenerateFamily(samplealign.FamilyConfig{
+		N: famN, MeanLen: 120, Relatedness: 400, Seed: r.seed + 6,
+	})
+	if err != nil {
+		return err
+	}
+	tuned, err := core.AlignInproc(fam, 4, core.Config{})
+	if err != nil {
+		return err
+	}
+	naive, err := core.AlignInproc(fam, 4, core.Config{NoFineTune: true})
+	if err != nil {
+		return err
+	}
+	spT := msa.SPScoreSampled(tuned.Alignment, submat.BLOSUM62, submat.DefaultProteinGap, 4000, 1)
+	spN := msa.SPScoreSampled(naive.Alignment, submat.BLOSUM62, submat.DefaultProteinGap, 4000, 1)
+	fmt.Printf("homologous family (N=%d): sampled SP with GA fine-tune %.0f, without %.0f\n",
+		famN, spT, spN)
+	if spT > spN {
+		fmt.Println("ancestor fine-tuning wins, as the paper's Fig. 2 illustrates")
+	} else {
+		fmt.Println("WARNING: fine-tuning did not win on this seed")
+	}
+	return nil
+}

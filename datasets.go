@@ -1,0 +1,143 @@
+package samplealign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/genome"
+	"repro/internal/msa"
+	"repro/internal/prefab"
+	"repro/internal/rose"
+)
+
+func newSplitRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func fmtFamID(fam, member int) string { return fmt.Sprintf("f%03dm%03d", fam, member) }
+
+// Dataset helpers: the synthetic workloads the paper evaluates on,
+// exposed so downstream users (and the examples) can regenerate them.
+
+// FamilyConfig parameterises a ROSE-like synthetic protein family
+// (the paper's Fig. 3/4/5 workload).
+type FamilyConfig struct {
+	N           int     // number of sequences
+	MeanLen     int     // ancestor length (paper: 300)
+	Relatedness float64 // ROSE relatedness knob (paper: 800)
+	Seed        int64
+}
+
+// GenerateFamily evolves a synthetic homologous family.
+func GenerateFamily(cfg FamilyConfig) ([]Sequence, error) {
+	f, err := rose.Evolve(rose.Config{
+		N: cfg.N, MeanLen: cfg.MeanLen, Relatedness: cfg.Relatedness, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f.Seqs(), nil
+}
+
+// GenerateDiverseSet builds a phylogenetically diverse sequence set —
+// the workload Sample-Align-D targets — by pooling many independent
+// families of varied size and divergence. Unlike a single deep family
+// (where every k-mer rank saturates), a mixture spreads the rank
+// distribution the way the paper's Fig. 3 shows, and redistribution then
+// groups related sequences onto the same rank.
+func GenerateDiverseSet(n, meanLen int, seed int64) ([]Sequence, error) {
+	rng := newSplitRand(seed)
+	var out []Sequence
+	fam := 0
+	for len(out) < n {
+		// Family sizes span singletons to ~40% of the set and divergence
+		// spans tight (50) to saturated (800): members of large tight
+		// families have low average k-mer distance, singletons high, so
+		// the rank distribution spreads the way the paper's Fig. 3 shows.
+		size := 2 + rng.Intn(max(4, 2*n/5))
+		if size > n-len(out) {
+			size = n - len(out)
+		}
+		f, err := rose.Evolve(rose.Config{
+			N:           size,
+			MeanLen:     meanLen/2 + rng.Intn(meanLen+1),
+			Relatedness: 50 + rng.Float64()*750,
+			Seed:        rng.Int63(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for m, s := range f.Seqs() {
+			out = append(out, Sequence{
+				ID:   fmtFamID(fam, m),
+				Data: s.Data,
+			})
+		}
+		fam++
+	}
+	return out[:n], nil
+}
+
+// GenomeConfig parameterises the synthetic archaeal genome standing in
+// for Methanosarcina acetivorans (paper: 5 Mbp, ~2000 sampled proteins of
+// average length 316).
+type GenomeConfig struct {
+	TargetBP       int
+	MeanProteinLen int
+	Seed           int64
+}
+
+// SampleGenomeProteins synthesises a genome and samples n proteins from
+// it, the paper's Fig. 6 workload.
+func SampleGenomeProteins(cfg GenomeConfig, n int, sampleSeed int64) ([]Sequence, error) {
+	g, err := genome.Synthesize(genome.Config{
+		TargetBP: cfg.TargetBP, MeanProteinLen: cfg.MeanProteinLen, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.Sample(n, sampleSeed), nil
+}
+
+// PrefabSet is one PREFAB-like benchmark unit: sequences plus the true
+// reference alignment of two of them.
+type PrefabSet struct {
+	ID   string
+	Seqs []Sequence
+	Ref  *Alignment
+}
+
+// GeneratePrefab builds a PREFAB-like quality benchmark (the paper's
+// Table 2 workload): numSets sets of ~24 sequences of varying divergence.
+func GeneratePrefab(numSets int, seed int64) ([]PrefabSet, error) {
+	sets, err := prefab.Generate(prefab.Config{NumSets: numSets, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PrefabSet, len(sets))
+	for i, s := range sets {
+		out[i] = PrefabSet{ID: s.ID, Seqs: s.Seqs, Ref: s.Ref}
+	}
+	return out, nil
+}
+
+// EvaluatePrefab scores an aligner (by name, or "sample-align-d:p" for
+// the distributed aligner on p ranks) on a PREFAB-like benchmark and
+// returns the mean Q score.
+func EvaluatePrefab(alignerName string, sets []PrefabSet) (float64, error) {
+	al, err := resolveAligner(alignerName)
+	if err != nil {
+		return 0, err
+	}
+	native := make([]prefab.Set, len(sets))
+	for i, s := range sets {
+		native[i] = prefab.Set{ID: s.ID, Seqs: s.Seqs, Ref: s.Ref}
+	}
+	mean, _, err := prefab.Evaluate(al, native)
+	return mean, err
+}
+
+func resolveAligner(name string) (msa.Aligner, error) {
+	if n, ok := parseSampleAlignName(name); ok {
+		return &coreInprocAligner{p: n}, nil
+	}
+	return NewAligner(name, 0)
+}

@@ -1,0 +1,58 @@
+// genome2000 reproduces the paper's §4 real-data experiment at two
+// scales: a real run on proteins sampled from the synthetic archaeal
+// genome (laptop scale), and the paper-scale numbers from the calibrated
+// cluster model (2000 proteins, 16 nodes, 23 h vs 9.82 min). Run with:
+//
+//	go run ./examples/genome2000 [-n 200] [-p 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	samplealign "repro"
+	"repro/internal/cluster"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of proteins to sample (paper: 2000)")
+	p := flag.Int("p", 4, "ranks for the real run (paper: 16 nodes)")
+	flag.Parse()
+
+	fmt.Printf("synthesising archaeal genome and sampling %d proteins...\n", *n)
+	seqs, err := samplealign.SampleGenomeProteins(samplealign.GenomeConfig{
+		TargetBP:       1_000_000, // scaled from the paper's 5 Mbp
+		MeanProteinLen: 150,       // scaled from the paper's 316
+		Seed:           2008,
+	}, *n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("aligning %d proteins on %d ranks...\n", len(seqs), *p)
+	start := time.Now()
+	aln, report, err := samplealign.Align(seqs, *p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v: %d rows × %d columns\n",
+		time.Since(start).Round(time.Millisecond), aln.NumSeqs(), aln.Width())
+	fmt.Println(report.Summary())
+
+	// Paper-scale projection from the calibrated Beowulf model.
+	cal := cluster.Genome()
+	seq := cal.SequentialMuscle(2000, 316)
+	fmt.Printf("\npaper scale (simulated, N=2000, L=316):\n")
+	fmt.Printf("  sequential MUSCLE : %6.1f h   (paper: ~23 h)\n", seq/3600)
+	for _, procs := range []int{4, 8, 16} {
+		ph, err := cal.SampleAlignD(2000, 316, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sample-align-d p=%-2d: %6.2f min (%.0fx)\n",
+			procs, ph.Total/60, seq/ph.Total)
+	}
+	fmt.Println("  (paper: 9.82 min on 16 nodes — a 142x speedup)")
+}

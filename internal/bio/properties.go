@@ -1,0 +1,82 @@
+package bio
+
+// Per-residue physicochemical properties (Grantham 1974), used by the
+// MAFFT-like aligner: an amino-acid sequence becomes a pair of numeric
+// signals (volume, polarity) whose cross-correlation — computed with an
+// FFT — peaks at the offsets of homologous segments.
+
+// grantham volume and polarity, indexed by AminoAcids letter order
+// (ARNDCQEGHILKMFPSTWYV).
+var granthamVolume = [20]float64{
+	31, 124, 56, 54, 55, 85, 83, 3, 96, 111,
+	111, 119, 105, 132, 32.5, 32, 61, 170, 136, 84,
+}
+
+var granthamPolarity = [20]float64{
+	8.1, 10.5, 11.6, 13.0, 5.5, 10.5, 12.3, 9.0, 10.4, 5.2,
+	4.9, 11.3, 5.7, 5.2, 8.0, 9.2, 8.6, 5.4, 6.2, 5.9,
+}
+
+// normalized copies with zero mean and unit variance, computed once at
+// package init so correlation scores are comparable across properties.
+var normVolume, normPolarity [20]float64
+
+func init() {
+	normVolume = normalize(granthamVolume)
+	normPolarity = normalize(granthamPolarity)
+}
+
+func normalize(v [20]float64) [20]float64 {
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= 20
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	sd := 1.0
+	if ss > 0 {
+		sd = sqrt(ss / 20)
+	}
+	var out [20]float64
+	for i, x := range v {
+		out[i] = (x - mean) / sd
+	}
+	return out
+}
+
+// sqrt is a tiny local Newton iteration so the package stays free of a
+// math import for one call; accurate to ~1e-12 for the magnitudes here.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// Volume returns the normalized Grantham volume of residue b, or 0 for
+// bytes outside the amino-acid alphabet (gaps contribute no signal).
+func Volume(b byte) float64 {
+	i := AminoAcids.Index(b)
+	if i < 0 {
+		return 0
+	}
+	return normVolume[i]
+}
+
+// Polarity returns the normalized Grantham polarity of residue b, or 0
+// for bytes outside the amino-acid alphabet.
+func Polarity(b byte) float64 {
+	i := AminoAcids.Index(b)
+	if i < 0 {
+		return 0
+	}
+	return normPolarity[i]
+}

@@ -1,0 +1,107 @@
+package bio
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Gap is the byte used to denote an alignment gap in aligned rows.
+const Gap = '-'
+
+// Sequence is a named biological sequence. Data holds the residues and,
+// for aligned rows, gap bytes. Sequence values are passed by value; Data
+// is shared, so use Clone before mutating a sequence you do not own.
+type Sequence struct {
+	ID   string // identifier (first word of a FASTA header)
+	Desc string // free-text description (rest of the FASTA header)
+	Data []byte // residues, optionally containing Gap bytes
+}
+
+// NewSequence builds a sequence from an id and residue string.
+func NewSequence(id, data string) Sequence {
+	return Sequence{ID: id, Data: []byte(data)}
+}
+
+// Len returns the number of bytes in the sequence, including gaps.
+func (s Sequence) Len() int { return len(s.Data) }
+
+// String returns the residue data as a string.
+func (s Sequence) String() string { return string(s.Data) }
+
+// Clone returns a deep copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	d := make([]byte, len(s.Data))
+	copy(d, s.Data)
+	return Sequence{ID: s.ID, Desc: s.Desc, Data: d}
+}
+
+// Ungapped returns a copy of the sequence with all gap bytes removed.
+func (s Sequence) Ungapped() Sequence {
+	return Sequence{ID: s.ID, Desc: s.Desc, Data: Ungap(s.Data)}
+}
+
+// Validate checks that every non-gap byte of the sequence belongs to the
+// alphabet and returns a descriptive error for the first offender.
+func (s Sequence) Validate(a *Alphabet) error {
+	for i, b := range s.Data {
+		if b == Gap {
+			continue
+		}
+		if !a.Contains(b) {
+			return fmt.Errorf("bio: sequence %q: byte %q at position %d not in alphabet %s",
+				s.ID, b, i, a.Name())
+		}
+	}
+	return nil
+}
+
+// Ungap returns a new byte slice with every Gap byte removed.
+func Ungap(data []byte) []byte {
+	out := make([]byte, 0, len(data))
+	for _, b := range data {
+		if b != Gap {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sequences have identical ids and data.
+func Equal(a, b Sequence) bool {
+	return a.ID == b.ID && bytes.Equal(a.Data, b.Data)
+}
+
+// TotalLen returns the summed length of all sequences.
+func TotalLen(seqs []Sequence) int {
+	n := 0
+	for _, s := range seqs {
+		n += s.Len()
+	}
+	return n
+}
+
+// MeanLen returns the average sequence length, or 0 for an empty set.
+func MeanLen(seqs []Sequence) float64 {
+	if len(seqs) == 0 {
+		return 0
+	}
+	return float64(TotalLen(seqs)) / float64(len(seqs))
+}
+
+// CloneAll deep-copies a slice of sequences.
+func CloneAll(seqs []Sequence) []Sequence {
+	out := make([]Sequence, len(seqs))
+	for i, s := range seqs {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// IDs returns the identifiers of the sequences in order.
+func IDs(seqs []Sequence) []string {
+	ids := make([]string, len(seqs))
+	for i, s := range seqs {
+		ids[i] = s.ID
+	}
+	return ids
+}

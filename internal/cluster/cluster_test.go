@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestAnchorA20000At16(t *testing.T) {
+	// Fig. 4 text: 20000 synthetic sequences on 16 nodes in "around 25
+	// seconds". Accept the right order of magnitude (10–120 s).
+	ph, err := Synthetic().SampleAlignD(20000, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Total < 10 || ph.Total > 120 {
+		t.Fatalf("20000@16 simulated %.1fs, want tens of seconds", ph.Total)
+	}
+}
+
+func TestAnchorBSequentialMuscle23h(t *testing.T) {
+	// Fig. 6: sequential MUSCLE on 2000 genome proteins ≈ 23 h (82,800 s).
+	got := Genome().SequentialMuscle(2000, 316)
+	if got < 0.5*82800 || got > 1.5*82800 {
+		t.Fatalf("sequential MUSCLE simulated %.0fs, want ≈82800s", got)
+	}
+}
+
+func TestAnchorCGenome16Nodes(t *testing.T) {
+	// Fig. 6: Sample-Align-D on 2000 genome proteins, p=16 ≈ 9.82 min
+	// (589 s); the paper reports a 142× speedup over sequential MUSCLE.
+	cal := Genome()
+	ph, err := cal.SampleAlignD(2000, 316, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Total < 0.5*589 || ph.Total > 1.5*589 {
+		t.Fatalf("2000@16 simulated %.0fs, want ≈589s", ph.Total)
+	}
+	ratio := cal.SequentialMuscle(2000, 316) / ph.Total
+	if ratio < 70 || ratio > 300 {
+		t.Fatalf("speedup vs sequential MUSCLE = %.0f×, want ≈142×", ratio)
+	}
+}
+
+func TestAnchorDClustalWOneYear(t *testing.T) {
+	// §1: CLUSTALW ≈ 1 year for 5000 sequences (3.15e7 s).
+	got := Synthetic().SequentialClustalW(5000, 350)
+	if got < 1e7 || got > 1e8 {
+		t.Fatalf("CLUSTALW simulated %.3gs, want ≈3e7s", got)
+	}
+}
+
+func TestFig4TimeDecreasesSharply(t *testing.T) {
+	cal := Synthetic()
+	for _, n := range []int{5000, 10000, 20000} {
+		prev := 0.0
+		for i, p := range []int{1, 4, 8} {
+			ph, err := cal.SampleAlignD(n, 300, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && ph.Total >= prev {
+				t.Fatalf("N=%d: time did not decrease at p=%d (%.1f >= %.1f)",
+					n, p, ph.Total, prev)
+			}
+			prev = ph.Total
+		}
+	}
+}
+
+func TestFig5SuperlinearSpeedup(t *testing.T) {
+	cal := Synthetic()
+	for _, n := range []int{5000, 10000, 20000} {
+		for _, p := range []int{4, 8, 12, 16} {
+			s, err := cal.Speedup(n, 300, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s <= float64(p) {
+				t.Fatalf("N=%d p=%d: speedup %.1f not superlinear", n, p, s)
+			}
+		}
+	}
+}
+
+func TestFig5DeteriorationAt16ForSmallN(t *testing.T) {
+	// The paper: "for the datasets of N=5000 and 10000, the speedup curve
+	// goes up for 4, 8 and 12 processors but deteriorates when all 16
+	// processors are used"; N=20000 keeps improving.
+	cal := Synthetic()
+	s12, _ := cal.Speedup(5000, 300, 12)
+	s16, _ := cal.Speedup(5000, 300, 16)
+	if s16 >= s12 {
+		t.Fatalf("N=5000: speedup(16)=%.1f did not dip below speedup(12)=%.1f", s16, s12)
+	}
+	s12b, _ := cal.Speedup(10000, 300, 12)
+	s16b, _ := cal.Speedup(10000, 300, 16)
+	if s16b >= s12b {
+		t.Fatalf("N=10000: speedup(16)=%.1f did not dip below speedup(12)=%.1f", s16b, s12b)
+	}
+	s12c, _ := cal.Speedup(20000, 300, 12)
+	s16c, _ := cal.Speedup(20000, 300, 16)
+	if s16c <= s12c {
+		t.Fatalf("N=20000: speedup(16)=%.1f did not keep improving over speedup(12)=%.1f", s16c, s12c)
+	}
+}
+
+func TestPhasesSumToTotal(t *testing.T) {
+	ph, err := Genome().SampleAlignD(2000, 316, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := ph.KmerLocal + ph.Sampling + ph.Pivoting + ph.Redistrib +
+		ph.LocalAlign + ph.Ancestor + ph.FineTune + ph.Glue
+	if diff := sum - ph.Total; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("phases sum %.6f != total %.6f", sum, ph.Total)
+	}
+}
+
+func TestCommunicationMinorShare(t *testing.T) {
+	// §3's conclusion: "the communication cost of our system is much
+	// less than the cost of the alignments".
+	ph, err := Genome().SampleAlignD(2000, 316, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.CommTotal > 0.1*ph.Total {
+		t.Fatalf("communication %.1fs is %.0f%% of total %.1fs",
+			ph.CommTotal, 100*ph.CommTotal/ph.Total, ph.Total)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Synthetic().SampleAlignD(0, 300, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Synthetic().SampleAlignD(100, 0, 4); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := Synthetic().SampleAlignD(100, 300, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestSingleNodeEqualsLocalAlignerCost(t *testing.T) {
+	cal := Synthetic()
+	ph, err := cal.SampleAlignD(1000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Total != ph.LocalAlign || ph.CommTotal != 0 {
+		t.Fatalf("p=1 breakdown: %+v", ph)
+	}
+}

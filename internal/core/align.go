@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+)
+
+// Align runs Sample-Align-D as an SPMD program: every rank calls it with
+// its local slice of the input. The full alignment is returned on rank 0
+// (nil elsewhere); Stats are returned on every rank.
+func Align(c mpi.Comm, local []bio.Sequence, cfg Config) (*msa.Alignment, *Stats, error) {
+	origs := make([]int64, len(local))
+	for i := range origs {
+		origs[i] = int64(c.Rank())<<40 | int64(i)
+	}
+	return alignTagged(c, local, origs, cfg)
+}
+
+// alignTagged is Align with explicit per-sequence global ordering keys
+// (the inproc driver passes original input indices so the final
+// alignment comes back in input order).
+func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*msa.Alignment, *Stats, error) {
+	if len(origs) != len(local) {
+		return nil, nil, fmt.Errorf("core: %d origin keys for %d sequences", len(origs), len(local))
+	}
+	cfg = cfg.withDefaults(c.Size())
+	stats := &Stats{Rank: c.Rank()}
+	tStart := time.Now()
+
+	counter, err := kmer.NewCounter(cfg.Compress, cfg.K)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	seqs := make([]wireSeq, len(local))
+	for i, s := range local {
+		seqs[i] = wireSeq{ID: s.ID, Desc: s.Desc, Data: bio.Ungap(s.Data), Orig: origs[i]}
+		if len(seqs[i].Data) == 0 {
+			return nil, nil, fmt.Errorf("core: sequence %q is empty", s.ID)
+		}
+	}
+
+	p := c.Size()
+	var bucket []wireSeq
+	if p == 1 {
+		bucket = seqs
+	} else {
+		bucket, err = redistribute(c, counter, seqs, cfg, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.BucketSize = len(bucket)
+
+	// ------- local alignment of the bucket (paper step: "align sequences
+	// in each processor using any sequential multiple alignment system")
+	tPhase := time.Now()
+	localAligner := cfg.NewLocalAligner(cfg.Workers)
+	bucketSeqs := make([]bio.Sequence, len(bucket))
+	for i, ws := range bucket {
+		bucketSeqs[i] = bio.Sequence{ID: ws.ID, Desc: ws.Desc, Data: ws.Data}
+	}
+	localAln, err := localAligner.Align(bucketSeqs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rank %d local alignment: %w", c.Rank(), err)
+	}
+	stats.Timings.LocalAlign = time.Since(tPhase)
+
+	if p == 1 {
+		stats.Timings.Total = time.Since(tStart)
+		stats.Comm = c.Stats().Snapshot()
+		stats.BucketSizes = []int{len(bucket)}
+		return localAln, stats, nil
+	}
+
+	// ------- ancestor phases
+	tPhase = time.Now()
+	var localAnc []byte
+	if localAln.NumSeqs() > 0 {
+		localAnc, err = localAln.Consensus(cfg.Sub.Alphabet(), cfg.AncestorOcc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	ancestors, err := mpi.GatherValues(c, 0, tagAncGather, localAnc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ga []byte
+	if c.Rank() == 0 {
+		ga, err = globalAncestor(ancestors, localAligner, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := mpi.BcastValue(c, 0, tagGA, ga, &ga); err != nil {
+		return nil, nil, err
+	}
+	stats.GALen = len(ga)
+	stats.Timings.Ancestor = time.Since(tPhase)
+
+	// ------- fine-tune against the GA template and glue at the root
+	tPhase = time.Now()
+	path, err := templatePath(localAln, ga, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Timings.FineTune = time.Since(tPhase)
+
+	tPhase = time.Now()
+	final, err := glue(c, localAln, bucket, path, len(ga), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Timings.Glue = time.Since(tPhase)
+	stats.Timings.Total = time.Since(tStart)
+	stats.Comm = c.Stats().Snapshot()
+	return final, stats, nil
+}
+
+// redistribute performs the sampling, pivoting and all-to-all exchange
+// phases, returning this rank's bucket.
+func redistribute(c mpi.Comm, counter *kmer.Counter, seqs []wireSeq, cfg Config, stats *Stats) ([]wireSeq, error) {
+	p, rank := c.Size(), c.Rank()
+
+	// --- phase 1: local rank + local sort
+	tPhase := time.Now()
+	profiles := make([]kmer.Profile, len(seqs))
+	for i := range seqs {
+		profiles[i] = counter.Profile(seqs[i].Data)
+	}
+	localRanks := kmer.Ranks(profiles, profiles, cfg.RankScale, cfg.Workers)
+	for i := range seqs {
+		seqs[i].Rank = localRanks[i]
+	}
+	sortByRank(seqs)
+	sortProfilesLike(profiles, seqs, counter)
+	stats.Timings.LocalRank = time.Since(tPhase)
+
+	// --- phase 2: sample exchange + globalised rank
+	tPhase = time.Now()
+	k := cfg.SampleSize
+	if k > len(seqs) {
+		k = len(seqs)
+	}
+	samples := pickSamples(seqs, k, cfg.Sampling, rank)
+	sampleData := make([][]byte, len(samples))
+	for i, s := range samples {
+		sampleData[i] = s.Data
+	}
+	allSamples, err := mpi.AllGatherValues(c, tagSamples, sampleData)
+	if err != nil {
+		return nil, err
+	}
+	var samplePool []kmer.Profile
+	for _, part := range allSamples {
+		for _, data := range part {
+			samplePool = append(samplePool, counter.Profile(data))
+		}
+	}
+	globalRanks := kmer.Ranks(profiles, samplePool, cfg.RankScale, cfg.Workers)
+	for i := range seqs {
+		seqs[i].Rank = globalRanks[i]
+	}
+	sortByRank(seqs)
+	stats.Timings.Sampling = time.Since(tPhase)
+
+	// --- phase 3: regular sampling of p-1 rank values, pivot selection
+	tPhase = time.Now()
+	sampleRanks := regularRankSample(seqs, p-1)
+	gathered, err := mpi.GatherValues(c, 0, tagPivotGather, sampleRanks)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []float64
+	if rank == 0 {
+		var all []float64
+		for _, part := range gathered {
+			all = append(all, part...)
+		}
+		pivots = selectPivots(all, p)
+	}
+	if err := mpi.BcastValue(c, 0, tagPivots, pivots, &pivots); err != nil {
+		return nil, err
+	}
+	stats.Timings.Pivoting = time.Since(tPhase)
+
+	// --- phase 4: bucket partition + all-to-all exchange
+	tPhase = time.Now()
+	parts := make([][]wireSeq, p)
+	for _, ws := range seqs {
+		b := sort.SearchFloat64s(pivots, ws.Rank)
+		parts[b] = append(parts[b], ws)
+	}
+	got, err := mpi.AllToAllValues(c, tagRedist, parts)
+	if err != nil {
+		return nil, err
+	}
+	var bucket []wireSeq
+	for _, part := range got {
+		bucket = append(bucket, part...)
+	}
+	sortByRank(bucket)
+	stats.Timings.Redistrib = time.Since(tPhase)
+
+	// root records all bucket sizes for the load-balance analysis
+	sizes, err := mpi.GatherValues(c, 0, tagBarrier, len(bucket))
+	if err != nil {
+		return nil, err
+	}
+	if rank == 0 {
+		stats.BucketSizes = sizes
+	}
+	return bucket, nil
+}
+
+func sortByRank(seqs []wireSeq) {
+	sort.SliceStable(seqs, func(i, j int) bool {
+		if seqs[i].Rank != seqs[j].Rank {
+			return seqs[i].Rank < seqs[j].Rank
+		}
+		return seqs[i].Orig < seqs[j].Orig
+	})
+}
+
+// sortProfilesLike recomputes profiles to match a freshly sorted seqs
+// slice. Recomputing is cheaper to reason about than tracking a
+// permutation and costs one pass of k-mer counting.
+func sortProfilesLike(profiles []kmer.Profile, seqs []wireSeq, counter *kmer.Counter) {
+	for i := range seqs {
+		profiles[i] = counter.Profile(seqs[i].Data)
+	}
+}
+
+// pickSamples returns k samples of the locally sorted sequence list,
+// evenly spaced (regular) or uniform random (ablation).
+func pickSamples(seqs []wireSeq, k int, strategy SamplingStrategy, rank int) []wireSeq {
+	if k <= 0 || len(seqs) == 0 {
+		return nil
+	}
+	if k > len(seqs) {
+		k = len(seqs)
+	}
+	out := make([]wireSeq, 0, k)
+	switch strategy {
+	case RandomSampling:
+		rng := rand.New(rand.NewSource(int64(rank)*7919 + 17))
+		for _, idx := range rng.Perm(len(seqs))[:k] {
+			out = append(out, seqs[idx])
+		}
+	default:
+		// evenly spaced: element at (i+1)·n/(k+1) of the sorted list
+		for i := 0; i < k; i++ {
+			idx := (i + 1) * len(seqs) / (k + 1)
+			if idx >= len(seqs) {
+				idx = len(seqs) - 1
+			}
+			out = append(out, seqs[idx])
+		}
+	}
+	return out
+}
+
+// regularRankSample picks k evenly spaced rank values from the locally
+// sorted list (the paper's p−1 regular samples).
+func regularRankSample(seqs []wireSeq, k int) []float64 {
+	if len(seqs) == 0 || k <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		idx := (i + 1) * len(seqs) / (k + 1)
+		if idx >= len(seqs) {
+			idx = len(seqs) - 1
+		}
+		out = append(out, seqs[idx].Rank)
+	}
+	return out
+}
+
+// selectPivots sorts the gathered regular samples and picks the paper's
+// p−1 pivots Y_{p/2}, Y_{p+p/2}, …, Y_{(p−2)p+p/2}, scaled to however
+// many samples actually arrived.
+func selectPivots(all []float64, p int) []float64 {
+	sort.Float64s(all)
+	pivots := make([]float64, 0, p-1)
+	if len(all) == 0 {
+		return pivots
+	}
+	if len(all) == p*(p-1) {
+		// the exact index schedule from the paper
+		for j := 0; j < p-1; j++ {
+			idx := j*p + p/2
+			if idx >= len(all) {
+				idx = len(all) - 1
+			}
+			pivots = append(pivots, all[idx])
+		}
+		return pivots
+	}
+	// degenerate worlds (tiny local sets): evenly spaced quantiles
+	for j := 1; j < p; j++ {
+		idx := j * len(all) / p
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		pivots = append(pivots, all[idx])
+	}
+	return pivots
+}
+
+// globalAncestor aligns the non-empty local ancestors and extracts the
+// consensus of their alignment.
+func globalAncestor(ancestors [][]byte, aligner msa.Aligner, cfg Config) ([]byte, error) {
+	var ancSeqs []bio.Sequence
+	for r, a := range ancestors {
+		if len(a) == 0 {
+			continue
+		}
+		ancSeqs = append(ancSeqs, bio.Sequence{ID: fmt.Sprintf("anc%d", r), Data: a})
+	}
+	switch len(ancSeqs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return ancSeqs[0].Data, nil
+	}
+	aln, err := aligner.Align(ancSeqs)
+	if err != nil {
+		return nil, fmt.Errorf("core: ancestor alignment: %w", err)
+	}
+	return aln.Consensus(cfg.Sub.Alphabet(), cfg.AncestorOcc)
+}

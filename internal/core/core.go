@@ -1,0 +1,161 @@
+// Package core implements Sample-Align-D, the paper's contribution: a
+// distributed multiple sequence aligner modelled on parallel sorting by
+// regular sampling.
+//
+// The SPMD algorithm (one call to Align per rank):
+//
+//  1. Each rank k-mer-ranks and sorts its N/p local sequences.
+//  2. Each rank contributes k evenly spaced sample sequences; the samples
+//     are all-gathered so every rank can compute a "globalised" k-mer
+//     rank for each local sequence against the k·p global sample.
+//  3. Ranks re-sort locally, regular-sample p−1 rank values each, and
+//     send them to the root, which picks p−1 pivots from the sorted
+//     p(p−1) values and broadcasts them.
+//  4. An all-to-all personalised exchange redistributes sequences so
+//     bucket i (pivot range i) lands on rank i; regular sampling bounds
+//     any bucket by 2N/p.
+//  5. Every rank aligns its bucket with a sequential MSA (MUSCLE-like by
+//     default) and extracts its local ancestor (consensus).
+//  6. The root aligns the p local ancestors into the global ancestor GA
+//     and broadcasts it.
+//  7. Every rank profile-aligns its local alignment against the GA
+//     template (fine-tuning); the root glues the per-rank alignments in
+//     GA coordinates into the final global alignment of all N sequences.
+package core
+
+import (
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/submat"
+)
+
+// SamplingStrategy selects how redistribution pivots are sampled.
+type SamplingStrategy int
+
+const (
+	// RegularSampling is the paper's choice: evenly spaced samples from
+	// locally sorted data, giving the 2N/p worst-case bucket bound.
+	RegularSampling SamplingStrategy = iota
+	// RandomSampling picks samples uniformly at random; kept for the
+	// ablation benches (no skew bound).
+	RandomSampling
+)
+
+// Config parameterises Sample-Align-D. The zero value plus defaults
+// reproduces the paper's configuration.
+type Config struct {
+	// K is the k-mer length (default kmer.DefaultK = 6).
+	K int
+	// Compress is the compressed alphabet for k-mer counting
+	// (default bio.Dayhoff6).
+	Compress *bio.Compressed
+	// RankScale feeds kmer.Rank (default kmer.DefaultRankScale).
+	RankScale float64
+	// SampleSize is k, the number of sample sequences each rank
+	// contributes to the globalised rank estimate (paper: k << N/p,
+	// analysed at k = p−1). Default: max(p−1, 4), clamped to the local
+	// set size.
+	SampleSize int
+	// NewLocalAligner builds the sequential MSA run on each bucket and on
+	// the ancestor set (default msa.MuscleLike).
+	NewLocalAligner func(workers int) msa.Aligner
+	// AncestorOcc is the minimum column occupancy for ancestor
+	// extraction (default 0.5).
+	AncestorOcc float64
+	// NoFineTune disables the global-ancestor profile re-alignment
+	// (the paper's fine-tuning step); used by the ablation bench.
+	NoFineTune bool
+	// Sampling picks the pivot sampling strategy (default regular).
+	Sampling SamplingStrategy
+	// Workers bounds shared-memory parallelism inside one rank
+	// (default 1: ranks model single-CPU cluster nodes).
+	Workers int
+	// Sub/Gap drive the fine-tuning profile alignment
+	// (defaults BLOSUM62 / DefaultProteinGap).
+	Sub *submat.Matrix
+	Gap submat.Gap
+}
+
+func (c Config) withDefaults(worldSize int) Config {
+	if c.K == 0 {
+		c.K = kmer.DefaultK
+	}
+	if c.Compress == nil {
+		c.Compress = bio.Dayhoff6
+	}
+	if c.RankScale == 0 {
+		c.RankScale = kmer.DefaultRankScale
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = worldSize - 1
+		if c.SampleSize < 4 {
+			c.SampleSize = 4
+		}
+	}
+	if c.NewLocalAligner == nil {
+		c.NewLocalAligner = func(workers int) msa.Aligner { return msa.MuscleLike(workers) }
+	}
+	if c.AncestorOcc == 0 {
+		c.AncestorOcc = 0.5
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Sub == nil {
+		c.Sub = submat.BLOSUM62
+	}
+	if c.Gap == (submat.Gap{}) {
+		c.Gap = submat.DefaultProteinGap
+	}
+	return c
+}
+
+// Timings records wall-clock per algorithm phase on one rank.
+type Timings struct {
+	LocalRank  time.Duration // local k-mer ranking and sorting
+	Sampling   time.Duration // sample exchange + globalised ranking
+	Pivoting   time.Duration // pivot gather/select/broadcast
+	Redistrib  time.Duration // all-to-all sequence exchange
+	LocalAlign time.Duration // sequential MSA on the bucket
+	Ancestor   time.Duration // local/global ancestor phases
+	FineTune   time.Duration // GA profile re-alignment
+	Glue       time.Duration // final gather and merge (root-heavy)
+	Total      time.Duration
+}
+
+// Stats is the per-rank execution report.
+type Stats struct {
+	Rank        int
+	Timings     Timings
+	Comm        mpi.Stats
+	BucketSize  int   // sequences this rank aligned after redistribution
+	BucketSizes []int // root only: all bucket sizes
+	GALen       int   // global ancestor length
+}
+
+// message tags (one per phase, SPMD discipline)
+const (
+	tagSamples = 100 + iota
+	tagPivotGather
+	tagPivots
+	tagRedist
+	tagAncGather
+	tagGA
+	tagGluePath
+	tagGlueRows
+	tagBarrier
+)
+
+// wireSeq is the on-the-wire form of a sequence plus its provenance, so
+// the root can restore a deterministic global order after redistribution.
+type wireSeq struct {
+	ID   string
+	Desc string
+	Data []byte
+	Orig int64 // global ordering key (driver-provided or rank-derived)
+	Rank float64
+}

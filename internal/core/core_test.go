@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/msa"
+	"repro/internal/rose"
+)
+
+// testFamily generates a reproducible family for core tests.
+func testFamily(t *testing.T, n, meanLen int, relatedness float64, seed int64) []bio.Sequence {
+	t.Helper()
+	f, err := rose.Evolve(rose.Config{N: n, MeanLen: meanLen, Relatedness: relatedness, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Seqs()
+}
+
+// checkCompleteAlignment verifies the fundamental Sample-Align-D output
+// contract: a valid alignment containing every input exactly once, in
+// input order, ungapping to the original residues.
+func checkCompleteAlignment(t *testing.T, aln *msa.Alignment, seqs []bio.Sequence) {
+	t.Helper()
+	if aln == nil {
+		t.Fatal("nil alignment on rank 0")
+	}
+	if err := aln.Validate(); err != nil {
+		t.Fatalf("invalid alignment: %v", err)
+	}
+	if aln.NumSeqs() != len(seqs) {
+		t.Fatalf("alignment has %d rows for %d inputs", aln.NumSeqs(), len(seqs))
+	}
+	for i, s := range seqs {
+		if aln.Seqs[i].ID != s.ID {
+			t.Fatalf("row %d: id %q, want %q (input order lost)", i, aln.Seqs[i].ID, s.ID)
+		}
+		if !bytes.Equal(bio.Ungap(aln.Seqs[i].Data), bio.Ungap(s.Data)) {
+			t.Fatalf("row %d (%s) does not ungap to its input", i, s.ID)
+		}
+	}
+}
+
+func TestSingleRankEqualsLocalAligner(t *testing.T) {
+	seqs := testFamily(t, 12, 60, 300, 1)
+	res, err := AlignInproc(seqs, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, res.Alignment, seqs)
+	direct, err := msa.MuscleLike(1).Align(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alignment.Width() != direct.Width() {
+		t.Fatalf("p=1 width %d != direct %d", res.Alignment.Width(), direct.Width())
+	}
+	for i := range seqs {
+		if !bytes.Equal(res.Alignment.Seqs[i].Data, direct.Seqs[i].Data) {
+			t.Fatalf("p=1 row %d differs from direct aligner", i)
+		}
+	}
+}
+
+func TestMultiRankCompleteness(t *testing.T) {
+	seqs := testFamily(t, 40, 80, 500, 2)
+	for _, p := range []int{2, 3, 4, 8} {
+		res, err := AlignInproc(seqs, p, Config{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		checkCompleteAlignment(t, res.Alignment, seqs)
+		if len(res.Stats) != p {
+			t.Fatalf("p=%d: %d stats", p, len(res.Stats))
+		}
+		total := 0
+		for r, s := range res.Stats {
+			if s == nil {
+				t.Fatalf("p=%d: rank %d stats missing", p, r)
+			}
+			total += s.BucketSize
+		}
+		if total != len(seqs) {
+			t.Fatalf("p=%d: buckets hold %d of %d sequences", p, total, len(seqs))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	seqs := testFamily(t, 24, 60, 400, 3)
+	a, err := AlignInproc(seqs, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AlignInproc(seqs, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alignment.Width() != b.Alignment.Width() {
+		t.Fatalf("widths differ: %d vs %d", a.Alignment.Width(), b.Alignment.Width())
+	}
+	for i := range a.Alignment.Seqs {
+		if !bytes.Equal(a.Alignment.Seqs[i].Data, b.Alignment.Seqs[i].Data) {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestMoreRanksThanSequences(t *testing.T) {
+	seqs := testFamily(t, 3, 40, 200, 4)
+	res, err := AlignInproc(seqs, 8, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, res.Alignment, seqs)
+}
+
+func TestIdenticalSequences(t *testing.T) {
+	// All ranks tie: the pivot ranges collapse and most buckets are
+	// empty. The algorithm must still produce a complete alignment.
+	seq := []byte("MKVLWACDEFGHIKLMNPQRST")
+	seqs := make([]bio.Sequence, 12)
+	for i := range seqs {
+		seqs[i] = bio.Sequence{ID: string(rune('a' + i)), Data: seq}
+	}
+	res, err := AlignInproc(seqs, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, res.Alignment, seqs)
+	if res.Alignment.Width() != len(seq) {
+		t.Fatalf("identical sequences aligned to width %d, want %d",
+			res.Alignment.Width(), len(seq))
+	}
+}
+
+func TestNoFineTuneStillComplete(t *testing.T) {
+	seqs := testFamily(t, 20, 60, 400, 5)
+	res, err := AlignInproc(seqs, 4, Config{NoFineTune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, res.Alignment, seqs)
+}
+
+func TestFineTuneImprovesSPOverBlockDiagonal(t *testing.T) {
+	// The whole point of the GA step: merged alignment should score far
+	// better than naive block-diagonal concatenation.
+	seqs := testFamily(t, 24, 80, 300, 6)
+	tuned, err := AlignInproc(seqs, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := AlignInproc(seqs, 4, Config{NoFineTune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}.withDefaults(4)
+	spTuned := msa.SPScore(tuned.Alignment, cfg.Sub, cfg.Gap, 0)
+	spNaive := msa.SPScore(naive.Alignment, cfg.Sub, cfg.Gap, 0)
+	if spTuned <= spNaive {
+		t.Fatalf("fine-tuning did not help: tuned %g <= naive %g", spTuned, spNaive)
+	}
+}
+
+func TestRandomSamplingStillComplete(t *testing.T) {
+	seqs := testFamily(t, 20, 60, 400, 7)
+	res, err := AlignInproc(seqs, 4, Config{Sampling: RandomSampling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, res.Alignment, seqs)
+}
+
+func TestRegularSamplingBucketBound(t *testing.T) {
+	// §3 of the paper: with regular sampling no bucket exceeds 2N/p.
+	// Check the statistical claim on a well-spread family (ties relaxed
+	// with small slack for duplicate ranks).
+	seqs := testFamily(t, 96, 60, 700, 8)
+	for _, p := range []int{4, 8} {
+		res, err := AlignInproc(seqs, p, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := res.Stats[0].BucketSizes
+		if len(sizes) != p {
+			t.Fatalf("p=%d: %d bucket sizes", p, len(sizes))
+		}
+		bound := 2*len(seqs)/p + p // + p slack for rank ties
+		for r, sz := range sizes {
+			if sz > bound {
+				t.Fatalf("p=%d: bucket %d holds %d > bound %d (sizes %v)",
+					p, r, sz, bound, sizes)
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	seqs := testFamily(t, 24, 60, 400, 9)
+	res, err := AlignInproc(seqs, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range res.Stats {
+		if s.Timings.Total <= 0 {
+			t.Fatalf("rank %d: zero total time", r)
+		}
+		if s.Timings.LocalAlign <= 0 {
+			t.Fatalf("rank %d: zero align time", r)
+		}
+		if s.Comm.BytesSent == 0 {
+			t.Fatalf("rank %d: no bytes sent", r)
+		}
+	}
+	if res.Stats[0].GALen == 0 {
+		t.Fatal("global ancestor is empty")
+	}
+}
+
+func TestQualityComparableToSequential(t *testing.T) {
+	// The paper's Table 2 claim at small scale: distributed alignment
+	// quality is in the same band as the sequential tool, not collapsed.
+	f, err := rose.Evolve(rose.Config{N: 24, MeanLen: 100, Relatedness: 250, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := f.TrueAlignment([]int{0, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := msa.MuscleLike(0).Align(f.Seqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := AlignInproc(f.Seqs(), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSeq, err := msa.QScore(seq, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qDist, err := msa.QScore(dist.Alignment, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qDist < qSeq-0.35 {
+		t.Fatalf("distributed quality collapsed: Q=%g vs sequential %g", qDist, qSeq)
+	}
+}
+
+func TestRejectsDuplicateIDs(t *testing.T) {
+	seqs := []bio.Sequence{
+		{ID: "x", Data: []byte("ACDEF")},
+		{ID: "x", Data: []byte("ACDEW")},
+	}
+	if _, err := AlignInproc(seqs, 2, Config{}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestRejectsEmptySequence(t *testing.T) {
+	seqs := []bio.Sequence{
+		{ID: "a", Data: []byte("ACDEF")},
+		{ID: "b", Data: nil},
+	}
+	if _, err := AlignInproc(seqs, 2, Config{}); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}
+
+func TestInprocAlignerInterface(t *testing.T) {
+	var al msa.Aligner = &InprocAligner{P: 2}
+	seqs := testFamily(t, 10, 50, 300, 11)
+	aln, err := al.Align(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompleteAlignment(t, aln, seqs)
+	if al.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	seqs := testFamily(t, 10, 30, 200, 12)
+	parts, origs := SplitBlocks(seqs, 3)
+	total := 0
+	next := int64(0)
+	for r := range parts {
+		if len(parts[r]) != len(origs[r]) {
+			t.Fatalf("rank %d: %d seqs, %d origs", r, len(parts[r]), len(origs[r]))
+		}
+		for i := range origs[r] {
+			if origs[r][i] != next {
+				t.Fatalf("rank %d: orig %d, want %d", r, origs[r][i], next)
+			}
+			next++
+		}
+		total += len(parts[r])
+	}
+	if total != 10 {
+		t.Fatalf("blocks hold %d sequences", total)
+	}
+}
+
+func TestSelectPivots(t *testing.T) {
+	// exact paper schedule for p=4: 12 samples, pivots at indices 2, 6, 10
+	all := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	pivots := selectPivots(all, 4)
+	if len(pivots) != 3 {
+		t.Fatalf("%d pivots", len(pivots))
+	}
+	if pivots[0] != 2 || pivots[1] != 6 || pivots[2] != 10 {
+		t.Fatalf("pivots = %v", pivots)
+	}
+	// degenerate sample count falls back to quantiles but keeps p-1 pivots
+	short := selectPivots([]float64{1, 2, 3}, 4)
+	if len(short) != 3 {
+		t.Fatalf("degenerate pivots = %v", short)
+	}
+}
+
+func TestParseLayoutValidation(t *testing.T) {
+	// path consuming wrong number of GA columns must fail
+	bad := []byte{byte(0 /*match*/)}
+	if _, err := parseLayout(bad, 2); err == nil {
+		t.Fatal("underrun path accepted")
+	}
+	over := []byte{0, 0, 0}
+	if _, err := parseLayout(over, 2); err == nil {
+		t.Fatal("overrun path accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bio"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/profile"
+)
+
+// faultyComm wraps a Comm and fails the n-th Send, injecting the kind of
+// mid-collective network fault a real cluster produces.
+type faultyComm struct {
+	mpi.Comm
+	mu       sync.Mutex
+	failAt   int
+	sends    int
+	injected error
+}
+
+func (f *faultyComm) Send(to, tag int, data []byte) error {
+	f.mu.Lock()
+	f.sends++
+	fail := f.sends == f.failAt
+	f.mu.Unlock()
+	if fail {
+		f.injected = errors.New("injected network fault")
+		return f.injected
+	}
+	return f.Comm.Send(to, tag, data)
+}
+
+func TestAlignSurvivesInjectedSendFault(t *testing.T) {
+	// Whatever send fails, Align must return an error (never hang, never
+	// return a partial alignment as success). The world is closed on
+	// first error, unblocking the peers.
+	seqs := testFamily(t, 16, 40, 300, 21)
+	for _, failAt := range []int{1, 2, 5, 9} {
+		parts, origs := SplitBlocks(seqs, 3)
+		var anyErr error
+		var mu sync.Mutex
+		faulty := &faultyComm{failAt: failAt}
+		_ = mpi.Run(3, func(c mpi.Comm) error {
+			comm := mpi.Comm(c)
+			if c.Rank() == 1 {
+				faulty.Comm = c
+				comm = faulty
+			}
+			aln, _, err := alignTagged(comm, parts[c.Rank()], origs[c.Rank()], Config{})
+			if err != nil {
+				mu.Lock()
+				anyErr = err
+				mu.Unlock()
+				return err
+			}
+			if c.Rank() == 0 && aln == nil {
+				return fmt.Errorf("rank 0 got nil alignment without error")
+			}
+			return nil
+		})
+		if faulty.injected != nil && anyErr == nil {
+			t.Fatalf("failAt=%d: injected fault vanished", failAt)
+		}
+		if faulty.injected == nil && anyErr != nil {
+			t.Fatalf("failAt=%d: error without injection: %v", failAt, anyErr)
+		}
+	}
+}
+
+// failingAligner always errors, standing in for a bucket aligner that
+// dies mid-run on one node.
+type failingAligner struct{}
+
+func (failingAligner) Name() string { return "failing" }
+func (failingAligner) Align([]bio.Sequence) (*msa.Alignment, error) {
+	return nil, errors.New("bucket aligner crashed")
+}
+
+func TestAlignPropagatesLocalAlignerFailure(t *testing.T) {
+	seqs := testFamily(t, 12, 40, 300, 22)
+	cfg := Config{NewLocalAligner: func(int) msa.Aligner { return failingAligner{} }}
+	if _, err := AlignInproc(seqs, 2, cfg); err == nil {
+		t.Fatal("local aligner failure not propagated")
+	}
+	if _, err := AlignInproc(seqs, 1, cfg); err == nil {
+		t.Fatal("p=1 local aligner failure not propagated")
+	}
+}
+
+func TestGluePathPropertyRandomised(t *testing.T) {
+	// Property: for random (gaLen, path built from random ops that
+	// consume exactly gaLen GA columns), parseLayout inverts the path
+	// into a layout whose insertion+match counts equal the local column
+	// count.
+	f := func(seed int64) bool {
+		rng := newRandSrc(seed)
+		gaLen := 1 + int(rng()%8)
+		var path []byte
+		local, g := 0, 0
+		for g < gaLen {
+			switch rng() % 3 {
+			case 0:
+				path = append(path, byte(profile.OpMatch))
+				local++
+				g++
+			case 1:
+				path = append(path, byte(profile.OpA))
+				local++
+			default:
+				path = append(path, byte(profile.OpB))
+				g++
+			}
+		}
+		l, err := parseLayout(path, gaLen)
+		if err != nil {
+			return false
+		}
+		if l.numLocal != local {
+			return false
+		}
+		count := 0
+		for _, ins := range l.ins {
+			count += len(ins)
+		}
+		for _, m := range l.matched {
+			if m >= 0 {
+				count++
+			}
+		}
+		return count == local
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newRandSrc is a tiny deterministic generator for the property test.
+func newRandSrc(seed int64) func() uint64 {
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	return func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+}

@@ -1,0 +1,138 @@
+// Package fasta reads and writes sequence sets in FASTA format.
+//
+// The reader is tolerant of the variation found in real files: blank
+// lines, Windows line endings, arbitrary line widths and trailing
+// whitespace. The writer emits fixed-width records suitable for other
+// tools.
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bio"
+)
+
+// Read parses every FASTA record from r.
+func Read(r io.Reader) ([]bio.Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var (
+		seqs []bio.Sequence
+		cur  *bio.Sequence
+		buf  bytes.Buffer
+		line int
+	)
+	flush := func() {
+		if cur != nil {
+			cur.Data = append([]byte(nil), buf.Bytes()...)
+			seqs = append(seqs, *cur)
+			cur = nil
+			buf.Reset()
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t\r")
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			flush()
+			id, desc := splitHeader(text[1:])
+			cur = &bio.Sequence{ID: id, Desc: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
+		}
+		for i := 0; i < len(text); i++ {
+			b := text[i]
+			if b == ' ' || b == '\t' {
+				continue
+			}
+			buf.WriteByte(b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fasta: %w", err)
+	}
+	flush()
+	return seqs, nil
+}
+
+func splitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+// ReadFile parses every FASTA record from the file at path.
+func ReadFile(path string) ([]bio.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// LineWidth is the residue line width used by Write.
+const LineWidth = 60
+
+// Write emits the sequences to w in FASTA format with LineWidth-column
+// residue lines.
+func Write(w io.Writer, seqs []bio.Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if s.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for off := 0; off < len(s.Data); off += LineWidth {
+			end := off + LineWidth
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			bw.Write(s.Data[off:end])
+			bw.WriteByte('\n')
+		}
+		if len(s.Data) == 0 {
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the sequences to the file at path, creating or
+// truncating it.
+func WriteFile(path string, seqs []bio.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, seqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseString is a convenience wrapper over Read for in-memory data.
+func ParseString(s string) ([]bio.Sequence, error) {
+	return Read(strings.NewReader(s))
+}
+
+// FormatString renders sequences as a FASTA string.
+func FormatString(seqs []bio.Sequence) string {
+	var b strings.Builder
+	Write(&b, seqs) // strings.Builder writes cannot fail
+	return b.String()
+}

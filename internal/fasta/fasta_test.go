@@ -1,0 +1,124 @@
+package fasta
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bio"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := ">s1 first sequence\nACDEF\nGHIKL\n>s2\nMNPQR\n"
+	seqs, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records, want 2", len(seqs))
+	}
+	if seqs[0].ID != "s1" || seqs[0].Desc != "first sequence" {
+		t.Errorf("header parse: id=%q desc=%q", seqs[0].ID, seqs[0].Desc)
+	}
+	if seqs[0].String() != "ACDEFGHIKL" {
+		t.Errorf("multi-line body: %q", seqs[0].String())
+	}
+	if seqs[1].ID != "s2" || seqs[1].String() != "MNPQR" {
+		t.Errorf("second record: %+v", seqs[1])
+	}
+}
+
+func TestReadMessyInput(t *testing.T) {
+	in := "\r\n>a  spaced   desc \r\nAC DE\t\nF\r\n\r\n>b\r\nGG\r\n"
+	seqs, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records, want 2", len(seqs))
+	}
+	if seqs[0].String() != "ACDEF" {
+		t.Errorf("whitespace not stripped: %q", seqs[0].String())
+	}
+	if seqs[0].Desc != "spaced   desc" {
+		t.Errorf("desc: %q", seqs[0].Desc)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ParseString("ACDEF\n"); err == nil {
+		t.Error("data before header accepted")
+	}
+}
+
+func TestReadEmptyRecord(t *testing.T) {
+	seqs, err := ParseString(">empty\n>full\nAC\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0].Len() != 0 || seqs[1].String() != "AC" {
+		t.Fatalf("empty record handling: %+v", seqs)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := []bio.Sequence{
+		{ID: "a", Desc: "with desc", Data: []byte(strings.Repeat("ACDEFGHIKL", 13))},
+		{ID: "b", Data: []byte("MW")},
+		{ID: "c", Data: nil},
+	}
+	out := FormatString(orig)
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip count %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if !bio.Equal(orig[i], back[i]) {
+			t.Errorf("record %d: got %q/%q want %q/%q",
+				i, back[i].ID, back[i].String(), orig[i].ID, orig[i].String())
+		}
+		if back[i].Desc != orig[i].Desc {
+			t.Errorf("record %d desc: %q != %q", i, back[i].Desc, orig[i].Desc)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: writing then reading arbitrary residue strings over the
+	// amino alphabet is the identity.
+	letters := bio.AminoAcids.Letters()
+	f := func(raw []byte, n uint8) bool {
+		data := make([]byte, len(raw))
+		for i, b := range raw {
+			data[i] = letters[int(b)%len(letters)]
+		}
+		seqs := []bio.Sequence{{ID: "q", Data: data}}
+		back, err := ParseString(FormatString(seqs))
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].String() == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/x.fa"
+	seqs := []bio.Sequence{{ID: "z", Data: []byte("ACDEF")}}
+	if err := WriteFile(path, seqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].String() != "ACDEF" {
+		t.Fatalf("file round trip: %+v", back)
+	}
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Encode gob-encodes a value for transport. The typed helpers below pair
+// it with Decode so ranks exchange structured data (sequences, ranks,
+// pivot lists) without hand-rolling wire formats at every call site.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("mpi: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes data into out (a pointer).
+func Decode(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("mpi: decode: %w", err)
+	}
+	return nil
+}
+
+// SendValue gob-encodes v and sends it.
+func SendValue(c Comm, to, tag int, v any) error {
+	data, err := Encode(v)
+	if err != nil {
+		return err
+	}
+	return c.Send(to, tag, data)
+}
+
+// RecvValue receives a message and gob-decodes it into out (a pointer).
+func RecvValue(c Comm, from, tag int, out any) error {
+	data, err := c.Recv(from, tag)
+	if err != nil {
+		return err
+	}
+	return Decode(data, out)
+}
+
+// BcastValue broadcasts root's value; every rank decodes it into out
+// (a pointer). Root's out is left untouched (it already has the value).
+func BcastValue(c Comm, root, tag int, v any, out any) error {
+	var payload []byte
+	if c.Rank() == root {
+		data, err := Encode(v)
+		if err != nil {
+			return err
+		}
+		payload = data
+	}
+	data, err := Bcast(c, root, tag, payload)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == root {
+		return nil
+	}
+	return Decode(data, out)
+}
+
+// GatherValues gathers one value of type T per rank at root; non-root
+// ranks return nil.
+func GatherValues[T any](c Comm, root, tag int, v T) ([]T, error) {
+	data, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := Gather(c, root, tag, data)
+	if err != nil || c.Rank() != root {
+		return nil, err
+	}
+	out := make([]T, len(parts))
+	for r, p := range parts {
+		if err := Decode(p, &out[r]); err != nil {
+			return nil, fmt.Errorf("mpi: gather from rank %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+// AllGatherValues gives every rank the slice of every rank's value.
+func AllGatherValues[T any](c Comm, tag int, v T) ([]T, error) {
+	data, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := AllGather(c, tag, data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(parts))
+	for r, p := range parts {
+		if err := Decode(p, &out[r]); err != nil {
+			return nil, fmt.Errorf("mpi: allgather from rank %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+// AllToAllValues performs a personalised exchange of typed values:
+// parts[q] goes to rank q; the result is indexed by source rank.
+func AllToAllValues[T any](c Comm, tag int, parts []T) ([]T, error) {
+	raw := make([][]byte, len(parts))
+	for i, p := range parts {
+		data, err := Encode(p)
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = data
+	}
+	got, err := AllToAll(c, tag, raw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(got))
+	for r, p := range got {
+		if err := Decode(p, &out[r]); err != nil {
+			return nil, fmt.Errorf("mpi: alltoall from rank %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+// ScatterValues distributes root's parts[r] to rank r.
+func ScatterValues[T any](c Comm, root, tag int, parts []T) (T, error) {
+	var zero T
+	var raw [][]byte
+	if c.Rank() == root {
+		raw = make([][]byte, len(parts))
+		for i, p := range parts {
+			data, err := Encode(p)
+			if err != nil {
+				return zero, err
+			}
+			raw[i] = data
+		}
+	}
+	data, err := Scatter(c, root, tag, raw)
+	if err != nil {
+		return zero, err
+	}
+	var out T
+	if err := Decode(data, &out); err != nil {
+		return zero, err
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one queued point-to-point payload.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// mailbox is one rank's inbound queue with (source, tag) matching.
+// Messages from the same (source, tag) are matched FIFO.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(m message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+func (mb *mailbox) pop(src, tag int) ([]byte, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.queue {
+			if mb.queue[i].src == src && mb.queue[i].tag == tag {
+				data := mb.queue[i].data
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return data, nil
+			}
+		}
+		if mb.closed {
+			return nil, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// World is an in-process communication world: p ranks backed by
+// goroutines and shared-memory mailboxes. It models the cluster at full
+// message-passing fidelity (every byte crosses a Send/Recv boundary) on
+// one machine.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d", size)
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Comm returns the communicator endpoint for one rank.
+func (w *World) Comm(rank int) Comm {
+	return &inprocComm{world: w, rank: rank, stats: &Stats{}}
+}
+
+// Close shuts every rank's mailbox down.
+func (w *World) Close() {
+	for _, mb := range w.boxes {
+		mb.close()
+	}
+}
+
+type inprocComm struct {
+	world *World
+	rank  int
+	stats *Stats
+}
+
+func (c *inprocComm) Rank() int     { return c.rank }
+func (c *inprocComm) Size() int     { return c.world.size }
+func (c *inprocComm) Stats() *Stats { return c.stats }
+
+func (c *inprocComm) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.world.size {
+		return fmt.Errorf("mpi: send to rank %d of %d", to, c.world.size)
+	}
+	// Copy the payload: the sender may reuse its buffer, and ranks must
+	// not share memory through messages (cluster semantics).
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if err := c.world.boxes[to].push(message{src: c.rank, tag: tag, data: cp}); err != nil {
+		return err
+	}
+	c.stats.addSend(len(data))
+	return nil
+}
+
+func (c *inprocComm) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= c.world.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d of %d", from, c.world.size)
+	}
+	data, err := c.world.boxes[c.rank].pop(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.addRecv(len(data))
+	return data, nil
+}
+
+func (c *inprocComm) Close() error {
+	c.world.boxes[c.rank].close()
+	return nil
+}
+
+// Run launches fn as an SPMD program over `size` in-process ranks and
+// waits for all of them. It returns the first non-nil error; on error the
+// world is closed so other ranks unblock.
+func Run(size int, fn func(Comm) error) error {
+	w, err := NewWorld(size)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := fn(w.Comm(rank)); err != nil {
+				errs <- fmt.Errorf("rank %d: %w", rank, err)
+				w.Close() // unblock everyone else
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunCollect is Run for SPMD functions that produce a per-rank result;
+// results are returned indexed by rank.
+func RunCollect[T any](size int, fn func(Comm) (T, error)) ([]T, error) {
+	out := make([]T, size)
+	var mu sync.Mutex
+	err := Run(size, func(c Comm) error {
+		v, err := fn(c)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}

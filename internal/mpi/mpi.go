@@ -1,0 +1,78 @@
+// Package mpi is a hand-rolled message-passing runtime standing in for
+// the MPI library the paper uses: rank-addressed point-to-point messages
+// with tag matching, the collective operations Sample-Align-D needs
+// (barrier, broadcast, gather, all-gather, scatter, all-to-all
+// personalised exchange, reduce), gob-typed convenience wrappers, and two
+// transports — in-process goroutine ranks for tests/benchmarks and TCP
+// for real multi-process cluster runs.
+//
+// Semantics follow MPI's: Send is asynchronous (buffered), Recv blocks
+// until a matching (source, tag) message arrives, and messages between a
+// fixed (source, destination, tag) triple are delivered in order.
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a communicator that has been
+// shut down.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// Comm is a communicator: the endpoint one rank uses to talk to the
+// others in its world.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send delivers data to rank `to` with the given tag. It does not
+	// wait for the receiver (buffered, like MPI_Isend + wait-for-copy).
+	// Sending to self is allowed.
+	Send(to, tag int, data []byte) error
+	// Recv blocks until a message with the given source and tag arrives
+	// and returns its payload.
+	Recv(from, tag int) ([]byte, error)
+	// Stats returns this rank's traffic counters.
+	Stats() *Stats
+	// Close shuts the communicator down; blocked Recvs return ErrClosed.
+	Close() error
+}
+
+// Stats counts a rank's message traffic; used to reproduce the paper's
+// communication-cost analysis (§3).
+type Stats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+func (s *Stats) addSend(n int) {
+	atomic.AddInt64(&s.BytesSent, int64(n))
+	atomic.AddInt64(&s.MsgsSent, 1)
+}
+
+func (s *Stats) addRecv(n int) {
+	atomic.AddInt64(&s.BytesRecv, int64(n))
+	atomic.AddInt64(&s.MsgsRecv, 1)
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		BytesSent: atomic.LoadInt64(&s.BytesSent),
+		BytesRecv: atomic.LoadInt64(&s.BytesRecv),
+		MsgsSent:  atomic.LoadInt64(&s.MsgsSent),
+		MsgsRecv:  atomic.LoadInt64(&s.MsgsRecv),
+	}
+}
+
+// Add accumulates other into s (for aggregating per-rank stats).
+func (s *Stats) Add(other Stats) {
+	s.BytesSent += other.BytesSent
+	s.BytesRecv += other.BytesRecv
+	s.MsgsSent += other.MsgsSent
+	s.MsgsRecv += other.MsgsRecv
+}

@@ -1,0 +1,131 @@
+package msa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func testAln() *Alignment {
+	return &Alignment{Seqs: []bio.Sequence{
+		{ID: "seq1", Data: []byte("MKVL-ACDE")},
+		{ID: "seq2", Data: []byte("MKVLWACDE")},
+		{ID: "seq3", Data: []byte("MKILWACDE")},
+	}}
+}
+
+func TestWriteClustalBasic(t *testing.T) {
+	var b strings.Builder
+	if err := WriteClustal(&b, testAln()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "CLUSTAL W") {
+		t.Fatalf("missing header: %q", out[:40])
+	}
+	for _, id := range []string{"seq1", "seq2", "seq3"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("row %s missing", id)
+		}
+	}
+	// column 0 (all M) must be starred; the gap column must not be.
+	lines := strings.Split(out, "\n")
+	var consLine string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "seq3") && i+1 < len(lines) {
+			consLine = lines[i+1]
+		}
+	}
+	if consLine == "" {
+		t.Fatal("no conservation line found")
+	}
+	cons := consLine[len(consLine)-9:]
+	if cons[0] != '*' {
+		t.Errorf("column 0 not starred: %q", cons)
+	}
+	if cons[4] != ' ' {
+		t.Errorf("gap column annotated: %q", cons)
+	}
+	// column 2 is V/V/I: MILV is a strong group
+	if cons[2] != ':' {
+		t.Errorf("V/I column not strong-group: %q", cons)
+	}
+}
+
+func TestWriteClustalLongAlignment(t *testing.T) {
+	row := strings.Repeat("ACDEFGHIKL", 15) // 150 cols → 3 blocks
+	a := &Alignment{Seqs: []bio.Sequence{
+		{ID: "a", Data: []byte(row)},
+		{ID: "b", Data: []byte(row)},
+	}}
+	var b strings.Builder
+	if err := WriteClustal(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "a  "); got < 3 {
+		t.Fatalf("expected 3 blocks, saw %d row repeats", got)
+	}
+}
+
+func TestWriteClustalRejectsInvalid(t *testing.T) {
+	bad := &Alignment{Seqs: []bio.Sequence{
+		{ID: "a", Data: []byte("AC")},
+		{ID: "b", Data: []byte("A")},
+	}}
+	var b strings.Builder
+	if err := WriteClustal(&b, bad); err == nil {
+		t.Fatal("ragged alignment accepted")
+	}
+}
+
+func TestColumnConservation(t *testing.T) {
+	a := &Alignment{Seqs: []bio.Sequence{
+		{ID: "a", Data: []byte("MW-A")},
+		{ID: "b", Data: []byte("MC-A")},
+		{ID: "c", Data: []byte("MY-C")},
+	}}
+	scores := ColumnConservation(a, bio.AminoAcids)
+	if len(scores) != 4 {
+		t.Fatalf("%d scores", len(scores))
+	}
+	if scores[0] != 1 {
+		t.Errorf("identical column score %g, want 1", scores[0])
+	}
+	if scores[1] >= scores[0] {
+		t.Errorf("diverse column %g not below identical %g", scores[1], scores[0])
+	}
+	if scores[2] != 0 {
+		t.Errorf("all-gap column score %g, want 0", scores[2])
+	}
+	if scores[3] <= scores[1] {
+		t.Errorf("2/3 column %g not above 3-way diverse %g", scores[3], scores[1])
+	}
+}
+
+func TestColumnConservationEmpty(t *testing.T) {
+	empty := &Alignment{}
+	if got := ColumnConservation(empty, bio.AminoAcids); len(got) != 0 {
+		t.Fatalf("empty alignment scores: %v", got)
+	}
+}
+
+func TestConservedBlocks(t *testing.T) {
+	// 4 conserved columns, 2 noisy, 4 conserved
+	a := &Alignment{Seqs: []bio.Sequence{
+		{ID: "a", Data: []byte("MKVLWCACDE")},
+		{ID: "b", Data: []byte("MKVLCWACDE")},
+		{ID: "c", Data: []byte("MKVLYHACDE")},
+	}}
+	blocks := ConservedBlocks(a, bio.AminoAcids, 0.99, 3)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if blocks[0] != [2]int{0, 4} || blocks[1] != [2]int{6, 10} {
+		t.Fatalf("block ranges = %v", blocks)
+	}
+	// minLen filter
+	if got := ConservedBlocks(a, bio.AminoAcids, 0.99, 5); len(got) != 0 {
+		t.Fatalf("minLen=5 blocks: %v", got)
+	}
+}

@@ -1,0 +1,262 @@
+package msa
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+	"repro/internal/kmer"
+	"repro/internal/pairwise"
+	"repro/internal/par"
+	"repro/internal/profile"
+	"repro/internal/submat"
+	"repro/internal/tree"
+)
+
+// Aligner is any multiple sequence aligner. Implementations in this
+// repository: the Progressive engine (MUSCLE-like, CLUSTAL-like), the
+// consistency aligner in internal/cons, the MAFFT-like aligner in
+// internal/mafft and Sample-Align-D itself in internal/core.
+type Aligner interface {
+	Name() string
+	Align(seqs []bio.Sequence) (*Alignment, error)
+}
+
+// DistanceMethod selects how the guide-tree distance matrix is computed.
+type DistanceMethod int
+
+const (
+	// KmerDistance uses compressed-alphabet k-mer distances (MUSCLE
+	// draft stage): O(N²·L) and alignment-free.
+	KmerDistance DistanceMethod = iota
+	// PIDDistance uses 1 − fractional identity from global pairwise
+	// alignments (CLUSTALW stage 1): O(N²·L²) and much slower.
+	PIDDistance
+)
+
+// TreeMethod selects the guide-tree construction.
+type TreeMethod int
+
+const (
+	UPGMATree TreeMethod = iota
+	NJTree
+)
+
+// Options configures the progressive engine.
+type Options struct {
+	Sub       *submat.Matrix
+	Gap       submat.Gap
+	Distance  DistanceMethod
+	Tree      TreeMethod
+	K         int             // k-mer length for KmerDistance
+	Compress  *bio.Compressed // compressed alphabet for k-mers
+	Weighting bool            // CLUSTALW-style tree-derived sequence weights
+	Refine    int             // rounds of tree-bipartition refinement
+	Workers   int             // shared-memory workers (<=0: all cores)
+	NameTag   string
+}
+
+// Progressive is a progressive multiple aligner: distance matrix → guide
+// tree → post-order profile merging (→ optional refinement).
+type Progressive struct {
+	opts Options
+}
+
+// NewProgressive builds a progressive aligner, applying defaults for
+// unset options.
+func NewProgressive(opts Options) *Progressive {
+	if opts.Sub == nil {
+		opts.Sub = submat.BLOSUM62
+	}
+	if opts.Gap == (submat.Gap{}) {
+		opts.Gap = submat.DefaultProteinGap
+	}
+	if opts.K == 0 {
+		opts.K = kmer.DefaultK
+	}
+	if opts.Compress == nil {
+		opts.Compress = bio.Dayhoff6
+	}
+	if opts.NameTag == "" {
+		opts.NameTag = "progressive"
+	}
+	return &Progressive{opts: opts}
+}
+
+// MuscleLike returns the MUSCLE-style pipeline the paper runs inside each
+// processor: k-mer distances, UPGMA tree, PSP profile alignment.
+func MuscleLike(workers int) *Progressive {
+	return NewProgressive(Options{
+		Distance: KmerDistance,
+		Tree:     UPGMATree,
+		Workers:  workers,
+		NameTag:  "muscle-like",
+	})
+}
+
+// MuscleLikeRefined adds MUSCLE stage-3 style iterative refinement.
+func MuscleLikeRefined(workers, rounds int) *Progressive {
+	return NewProgressive(Options{
+		Distance: KmerDistance,
+		Tree:     UPGMATree,
+		Workers:  workers,
+		Refine:   rounds,
+		NameTag:  "muscle-like+refine",
+	})
+}
+
+// ClustalLike returns the CLUSTALW-style pipeline used as the paper's
+// quality baseline: %-identity distances, NJ tree, weighted profiles.
+func ClustalLike(workers int) *Progressive {
+	return NewProgressive(Options{
+		Distance:  PIDDistance,
+		Tree:      NJTree,
+		Weighting: true,
+		Workers:   workers,
+		NameTag:   "clustalw-like",
+	})
+}
+
+// Name identifies the pipeline configuration.
+func (p *Progressive) Name() string { return p.opts.NameTag }
+
+// Options returns a copy of the engine's configuration.
+func (p *Progressive) Options() Options { return p.opts }
+
+// DistanceMatrix computes the configured guide-tree distance matrix.
+func (p *Progressive) DistanceMatrix(seqs []bio.Sequence) (*kmer.Matrix, error) {
+	switch p.opts.Distance {
+	case KmerDistance:
+		counter, err := kmer.NewCounter(p.opts.Compress, p.opts.K)
+		if err != nil {
+			return nil, err
+		}
+		profiles := counter.Profiles(seqs, p.opts.Workers)
+		return kmer.DistanceMatrix(profiles, p.opts.Workers), nil
+	case PIDDistance:
+		n := len(seqs)
+		m := kmer.NewMatrix(n)
+		al := pairwise.Aligner{Sub: p.opts.Sub, Gap: p.opts.Gap}
+		par.ForDynamic(n, p.opts.Workers, func(i int) {
+			for j := i + 1; j < n; j++ {
+				r := al.Global(seqs[i].Data, seqs[j].Data)
+				m.Set(i, j, 1-pairwise.Identity(r.A, r.B))
+			}
+		})
+		return m, nil
+	default:
+		return nil, fmt.Errorf("msa: unknown distance method %d", p.opts.Distance)
+	}
+}
+
+// GuideTree builds the configured guide tree from a distance matrix.
+func (p *Progressive) GuideTree(d *kmer.Matrix, seqs []bio.Sequence) *tree.Node {
+	names := bio.IDs(seqs)
+	switch p.opts.Tree {
+	case NJTree:
+		return tree.NeighborJoining(d, names)
+	default:
+		return tree.UPGMA(d, names)
+	}
+}
+
+// Align runs the full progressive pipeline.
+func (p *Progressive) Align(seqs []bio.Sequence) (*Alignment, error) {
+	switch len(seqs) {
+	case 0:
+		return &Alignment{}, nil
+	case 1:
+		return &Alignment{Seqs: bio.CloneAll(seqs)}, nil
+	}
+	for i := range seqs {
+		if len(bio.Ungap(seqs[i].Data)) == 0 {
+			return nil, fmt.Errorf("msa: sequence %q is empty", seqs[i].ID)
+		}
+	}
+	d, err := p.DistanceMatrix(seqs)
+	if err != nil {
+		return nil, err
+	}
+	gt := p.GuideTree(d, seqs)
+	var weights []float64
+	if p.opts.Weighting {
+		weights = TreeWeights(gt, len(seqs))
+	}
+	aln, err := p.AlignWithTree(seqs, gt, weights)
+	if err != nil {
+		return nil, err
+	}
+	if p.opts.Refine > 0 {
+		aln = p.RefineAlignment(aln, gt, p.opts.Refine)
+	}
+	return aln, nil
+}
+
+// group is the partial alignment carried up the guide tree.
+type group struct {
+	rows [][]byte
+	ids  []int // sequence indices, parallel to rows
+}
+
+// AlignWithTree performs the post-order progressive merge over an
+// explicit guide tree. weights may be nil (unit weights).
+func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
+	alpha := p.opts.Sub.Alphabet()
+	palign := profile.NewAligner(p.opts.Sub, p.opts.Gap)
+
+	weightOf := func(idx int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[idx]
+	}
+
+	var build func(n *tree.Node) (*group, error)
+	build = func(n *tree.Node) (*group, error) {
+		if n.IsLeaf() {
+			if n.ID < 0 || n.ID >= len(seqs) {
+				return nil, fmt.Errorf("msa: guide tree leaf id %d out of range", n.ID)
+			}
+			data := bio.Ungap(seqs[n.ID].Data)
+			return &group{rows: [][]byte{data}, ids: []int{n.ID}}, nil
+		}
+		left, err := build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		wl := make([]float64, len(left.ids))
+		for i, id := range left.ids {
+			wl[i] = weightOf(id)
+		}
+		wr := make([]float64, len(right.ids))
+		for i, id := range right.ids {
+			wr[i] = weightOf(id)
+		}
+		pl, err := profile.FromRows(alpha, left.rows, wl)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := profile.FromRows(alpha, right.rows, wr)
+		if err != nil {
+			return nil, err
+		}
+		path, _ := palign.Align(pl, pr)
+		merged := profile.MergeRows(left.rows, right.rows, path)
+		return &group{rows: merged, ids: append(left.ids, right.ids...)}, nil
+	}
+
+	g, err := build(gt)
+	if err != nil {
+		return nil, err
+	}
+	// Restore input order.
+	aln := &Alignment{Seqs: make([]bio.Sequence, len(seqs))}
+	for k, idx := range g.ids {
+		aln.Seqs[idx] = bio.Sequence{ID: seqs[idx].ID, Desc: seqs[idx].Desc, Data: g.rows[k]}
+	}
+	aln.RemoveAllGapColumns()
+	return aln, nil
+}

@@ -1,0 +1,133 @@
+package pairwise
+
+import (
+	"repro/internal/bio"
+)
+
+// Hirschberg aligns a and b globally in O(len(a)·len(b)) time but only
+// O(min(len)) memory, using divide-and-conquer over score rows. It uses a
+// linear gap model (each gap symbol costs gapSym), the model under which
+// the classic Hirschberg split is exact. Useful when aligning very long
+// sequences (for example genome-scale ancestors) where quadratic memory
+// would not fit.
+func (al Aligner) Hirschberg(a, b []byte, gapSym float64) Result {
+	ra, rb := al.hirschberg(a, b, gapSym)
+	score := 0.0
+	for i := range ra {
+		switch {
+		case ra[i] == bio.Gap || rb[i] == bio.Gap:
+			score -= gapSym
+		default:
+			score += al.Sub.Score(ra[i], rb[i])
+		}
+	}
+	return Result{A: ra, B: rb, Score: score}
+}
+
+func (al Aligner) hirschberg(a, b []byte, gapSym float64) ([]byte, []byte) {
+	n, m := len(a), len(b)
+	switch {
+	case n == 0:
+		return gapRun(m), append([]byte(nil), b...)
+	case m == 0:
+		return append([]byte(nil), a...), gapRun(n)
+	case n == 1 || m == 1:
+		r := al.nwLinear(a, b, gapSym)
+		return r.A, r.B
+	}
+	mid := n / 2
+	scoreL := al.nwScoreRow(a[:mid], b, gapSym)
+	scoreR := al.nwScoreRow(reversed(a[mid:]), reversed(b), gapSym)
+	// choose the split point of b maximising total score
+	best, bestJ := scoreL[0]+scoreR[m], 0
+	for j := 1; j <= m; j++ {
+		if s := scoreL[j] + scoreR[m-j]; s > best {
+			best, bestJ = s, j
+		}
+	}
+	la, lb := al.hirschberg(a[:mid], b[:bestJ], gapSym)
+	ua, ub := al.hirschberg(a[mid:], b[bestJ:], gapSym)
+	return append(la, ua...), append(lb, ub...)
+}
+
+// nwScoreRow returns the last row of the linear-gap NW score matrix for
+// aligning a against every prefix of b.
+func (al Aligner) nwScoreRow(a, b []byte, gapSym float64) []float64 {
+	m := len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] - gapSym
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = prev[0] - gapSym
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1] + al.Sub.Score(a[i-1], b[j-1])
+			up := prev[j] - gapSym
+			left := cur[j-1] - gapSym
+			cur[j] = max3(diag, up, left)
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// nwLinear is a full-matrix linear-gap NW used for the base cases.
+func (al Aligner) nwLinear(a, b []byte, gapSym float64) Result {
+	n, m := len(a), len(b)
+	score := newMat(n+1, m+1)
+	for i := 1; i <= n; i++ {
+		score[i][0] = score[i-1][0] - gapSym
+	}
+	for j := 1; j <= m; j++ {
+		score[0][j] = score[0][j-1] - gapSym
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			score[i][j] = max3(
+				score[i-1][j-1]+al.Sub.Score(a[i-1], b[j-1]),
+				score[i-1][j]-gapSym,
+				score[i][j-1]-gapSym,
+			)
+		}
+	}
+	ra := make([]byte, 0, n+m)
+	rb := make([]byte, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && score[i][j] == score[i-1][j-1]+al.Sub.Score(a[i-1], b[j-1]):
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case i > 0 && score[i][j] == score[i-1][j]-gapSym:
+			ra = append(ra, a[i-1])
+			rb = append(rb, bio.Gap)
+			i--
+		default:
+			ra = append(ra, bio.Gap)
+			rb = append(rb, b[j-1])
+			j--
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return Result{A: ra, B: rb, Score: score[n][m]}
+}
+
+func gapRun(n int) []byte {
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = bio.Gap
+	}
+	return g
+}
+
+func reversed(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[len(b)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package pairwise implements the dynamic-programming sequence alignment
+// kernels every higher layer builds on: global alignment with affine gap
+// penalties (Gotoh), local alignment (Smith-Waterman), a banded global
+// variant, a linear-memory score-only pass and a linear-space Hirschberg
+// aligner.
+//
+// Scores are maximised; gap penalties are supplied as positive costs and a
+// gap of length g costs Open + g·Extend.
+package pairwise
+
+import (
+	"math"
+
+	"repro/internal/bio"
+	"repro/internal/submat"
+)
+
+// Aligner bundles the substitution matrix and gap model used by the
+// alignment kernels. The zero value is not usable; construct with fields.
+type Aligner struct {
+	Sub *submat.Matrix
+	Gap submat.Gap
+}
+
+// NewProtein returns an aligner with BLOSUM62 and the default protein
+// gap penalties.
+func NewProtein() Aligner {
+	return Aligner{Sub: submat.BLOSUM62, Gap: submat.DefaultProteinGap}
+}
+
+// Result is an alignment of two sequences: equal-length gapped rows and
+// the alignment score.
+type Result struct {
+	A, B  []byte
+	Score float64
+}
+
+var negInf = math.Inf(-1)
+
+// traceback states
+const (
+	stM byte = iota // match/mismatch
+	stX             // gap in B (A residue over '-')
+	stY             // gap in A ('-' over B residue)
+)
+
+// Global aligns a and b end to end with affine gap penalties and returns
+// the optimal-score alignment.
+func (al Aligner) Global(a, b []byte) Result {
+	n, m := len(a), len(b)
+	open, ext := al.Gap.Open, al.Gap.Extend
+
+	// DP matrices. M: last pair aligned; X: gap in b; Y: gap in a.
+	M := newMat(n+1, m+1)
+	X := newMat(n+1, m+1)
+	Y := newMat(n+1, m+1)
+	// per-state traceback: which state each cell came from
+	tbM := make([]byte, (n+1)*(m+1))
+	tbX := make([]byte, (n+1)*(m+1))
+	tbY := make([]byte, (n+1)*(m+1))
+	at := func(i, j int) int { return i*(m+1) + j }
+
+	M[0][0] = 0
+	X[0][0], Y[0][0] = negInf, negInf
+	for i := 1; i <= n; i++ {
+		M[i][0], Y[i][0] = negInf, negInf
+		X[i][0] = -(open + float64(i)*ext)
+		tbX[at(i, 0)] = stX
+	}
+	for j := 1; j <= m; j++ {
+		M[0][j], X[0][j] = negInf, negInf
+		Y[0][j] = -(open + float64(j)*ext)
+		tbY[at(0, j)] = stY
+	}
+
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := al.Sub.Score(a[i-1], b[j-1])
+			// M from best of three diagonal predecessors
+			bm, bs := stM, M[i-1][j-1]
+			if X[i-1][j-1] > bs {
+				bm, bs = stX, X[i-1][j-1]
+			}
+			if Y[i-1][j-1] > bs {
+				bm, bs = stY, Y[i-1][j-1]
+			}
+			M[i][j] = bs + s
+			tbM[at(i, j)] = bm
+
+			// X: consume a[i-1] against a gap
+			openX := M[i-1][j] - open - ext
+			extX := X[i-1][j] - ext
+			if openX >= extX {
+				X[i][j] = openX
+				tbX[at(i, j)] = stM
+			} else {
+				X[i][j] = extX
+				tbX[at(i, j)] = stX
+			}
+
+			// Y: consume b[j-1] against a gap
+			openY := M[i][j-1] - open - ext
+			extY := Y[i][j-1] - ext
+			if openY >= extY {
+				Y[i][j] = openY
+				tbY[at(i, j)] = stM
+			} else {
+				Y[i][j] = extY
+				tbY[at(i, j)] = stY
+			}
+		}
+	}
+
+	// choose the best final state and trace back
+	state, score := stM, M[n][m]
+	if X[n][m] > score {
+		state, score = stX, X[n][m]
+	}
+	if Y[n][m] > score {
+		state, score = stY, Y[n][m]
+	}
+
+	ra := make([]byte, 0, n+m)
+	rb := make([]byte, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch state {
+		case stM:
+			prev := tbM[at(i, j)]
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+			state = prev
+		case stX:
+			prev := tbX[at(i, j)]
+			ra = append(ra, a[i-1])
+			rb = append(rb, bio.Gap)
+			i--
+			state = prev
+		default: // stY
+			prev := tbY[at(i, j)]
+			ra = append(ra, bio.Gap)
+			rb = append(rb, b[j-1])
+			j--
+			state = prev
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return Result{A: ra, B: rb, Score: score}
+}
+
+// GlobalScore computes the optimal global alignment score in O(min) memory
+// without a traceback — two rolling rows per DP matrix.
+func (al Aligner) GlobalScore(a, b []byte) float64 {
+	n, m := len(a), len(b)
+	open, ext := al.Gap.Open, al.Gap.Extend
+	prevM := make([]float64, m+1)
+	prevX := make([]float64, m+1)
+	prevY := make([]float64, m+1)
+	curM := make([]float64, m+1)
+	curX := make([]float64, m+1)
+	curY := make([]float64, m+1)
+
+	prevM[0] = 0
+	prevX[0], prevY[0] = negInf, negInf
+	for j := 1; j <= m; j++ {
+		prevM[j], prevX[j] = negInf, negInf
+		prevY[j] = -(open + float64(j)*ext)
+	}
+	for i := 1; i <= n; i++ {
+		curM[0], curY[0] = negInf, negInf
+		curX[0] = -(open + float64(i)*ext)
+		for j := 1; j <= m; j++ {
+			s := al.Sub.Score(a[i-1], b[j-1])
+			curM[j] = s + max3(prevM[j-1], prevX[j-1], prevY[j-1])
+			curX[j] = math.Max(prevM[j]-open-ext, prevX[j]-ext)
+			curY[j] = math.Max(curM[j-1]-open-ext, curY[j-1]-ext)
+		}
+		prevM, curM = curM, prevM
+		prevX, curX = curX, prevX
+		prevY, curY = curY, prevY
+	}
+	return max3(prevM[m], prevX[m], prevY[m])
+}
+
+// Local aligns the best-scoring pair of substrings of a and b
+// (Smith-Waterman with affine gaps). The empty alignment scores 0.
+func (al Aligner) Local(a, b []byte) Result {
+	n, m := len(a), len(b)
+	open, ext := al.Gap.Open, al.Gap.Extend
+	M := newMat(n+1, m+1)
+	X := newMat(n+1, m+1)
+	Y := newMat(n+1, m+1)
+	tbM := make([]byte, (n+1)*(m+1))
+	tbX := make([]byte, (n+1)*(m+1))
+	tbY := make([]byte, (n+1)*(m+1))
+	at := func(i, j int) int { return i*(m+1) + j }
+	const stStop byte = 3
+
+	for i := 0; i <= n; i++ {
+		M[i][0], X[i][0], Y[i][0] = 0, negInf, negInf
+	}
+	for j := 0; j <= m; j++ {
+		M[0][j], X[0][j], Y[0][j] = 0, negInf, negInf
+	}
+
+	bestI, bestJ, bestScore := 0, 0, 0.0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := al.Sub.Score(a[i-1], b[j-1])
+			// Best predecessor, clamped at the empty alignment (score 0).
+			// stStop marks "this pair starts a fresh alignment".
+			bm, bs := stM, M[i-1][j-1]
+			if X[i-1][j-1] > bs {
+				bm, bs = stX, X[i-1][j-1]
+			}
+			if Y[i-1][j-1] > bs {
+				bm, bs = stY, Y[i-1][j-1]
+			}
+			if bs <= 0 {
+				bm, bs = stStop, 0
+			}
+			v := bs + s
+			if v <= 0 {
+				M[i][j] = 0
+				tbM[at(i, j)] = stStop
+			} else {
+				M[i][j] = v
+				tbM[at(i, j)] = bm
+			}
+
+			openX := M[i-1][j] - open - ext
+			extX := X[i-1][j] - ext
+			if openX >= extX {
+				X[i][j] = openX
+				tbX[at(i, j)] = stM
+			} else {
+				X[i][j] = extX
+				tbX[at(i, j)] = stX
+			}
+			openY := M[i][j-1] - open - ext
+			extY := Y[i][j-1] - ext
+			if openY >= extY {
+				Y[i][j] = openY
+				tbY[at(i, j)] = stM
+			} else {
+				Y[i][j] = extY
+				tbY[at(i, j)] = stY
+			}
+			if M[i][j] > bestScore {
+				bestI, bestJ, bestScore = i, j, M[i][j]
+			}
+		}
+	}
+	if bestScore == 0 {
+		return Result{}
+	}
+	ra := make([]byte, 0, 64)
+	rb := make([]byte, 0, 64)
+	i, j, state := bestI, bestJ, stM
+	for i > 0 && j > 0 {
+		switch state {
+		case stM:
+			// A cell whose predecessor is stStop consumed its residue
+			// pair starting from the empty alignment: emit it, then stop.
+			prev := tbM[at(i, j)]
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+			if prev == stStop {
+				i, j = 0, 0
+				break
+			}
+			state = prev
+		case stX:
+			prev := tbX[at(i, j)]
+			ra = append(ra, a[i-1])
+			rb = append(rb, bio.Gap)
+			i--
+			state = prev
+		default:
+			prev := tbY[at(i, j)]
+			ra = append(ra, bio.Gap)
+			rb = append(rb, b[j-1])
+			j--
+			state = prev
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return Result{A: ra, B: rb, Score: bestScore}
+}
+
+func newMat(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols], backing[cols:]
+	}
+	return m
+}
+
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// Identity returns the fractional identity of two aligned rows: identical
+// residue pairs divided by the number of columns where both rows hold a
+// residue. Returns 0 when no such column exists.
+func Identity(a, b []byte) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	same, pairs := 0, 0
+	for i := range a {
+		if a[i] == bio.Gap || b[i] == bio.Gap {
+			continue
+		}
+		pairs++
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(same) / float64(pairs)
+}

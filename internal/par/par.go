@@ -1,0 +1,103 @@
+// Package par provides the small shared-memory parallelism helpers used
+// by the compute kernels: a parallel for-loop over an index range and a
+// bounded worker pool. Distribution across "cluster nodes" is the job of
+// internal/mpi; par only exploits the cores inside one node.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0,n) using the given number of
+// workers. Indices are handed out in contiguous blocks to preserve cache
+// locality. For blocks until every call returns. workers <= 0 selects
+// DefaultWorkers(); n <= 0 is a no-op.
+func For(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic is like For but hands out indices one at a time from a
+// shared counter, which balances load when per-index cost varies wildly
+// (for example, distance-matrix rows of decreasing length).
+func ForDynamic(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies f to every element index of a length-n virtual slice and
+// collects results in order.
+func Map[T any](n, workers int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = f(i) })
+	return out
+}

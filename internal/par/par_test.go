@@ -1,0 +1,77 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 977
+		seen := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	n := 523
+	seen := make([]int32, n)
+	ForDynamic(n, 7, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	For(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("body ran for n<=0")
+	}
+	count := 0
+	For(1, 16, func(int) { count++ })
+	if count != 1 {
+		t.Fatalf("n=1 ran %d times", count)
+	}
+}
+
+func TestForDefaultWorkers(t *testing.T) {
+	var total int64
+	For(1000, 0, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	if total != 999*1000/2 {
+		t.Fatalf("sum = %d", total)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForMatchesSequentialProperty(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		nn := int(n)
+		var par64, seq64 int64
+		For(nn, int(workers)%9, func(i int) { atomic.AddInt64(&par64, int64(i*i+1)) })
+		for i := 0; i < nn; i++ {
+			seq64 += int64(i*i + 1)
+		}
+		return par64 == seq64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

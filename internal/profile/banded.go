@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"math"
+)
+
+// AlignBanded is Align restricted to diagonals j−i ∈ [diagLo, diagHi]
+// (clamped so the start and end cells are always reachable). The
+// MAFFT-like aligner uses FFT-detected homologous offsets to choose the
+// band, paying O(width·band) instead of O(width²).
+func (al *Aligner) AlignBanded(a, b *Profile, diagLo, diagHi int) (Path, float64) {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return al.alignTrivial(n, m)
+	}
+	// Clamp the band to contain both corners: (0,0) lies on diagonal 0
+	// and (n,m) on diagonal m−n, so the band must span min(0,m−n) to
+	// max(0,m−n) whatever the caller asked for.
+	if diagLo > diagHi {
+		diagLo, diagHi = diagHi, diagLo
+	}
+	if diagLo > 0 {
+		diagLo = 0
+	}
+	if diagLo > m-n {
+		diagLo = m - n
+	}
+	if diagHi < 0 {
+		diagHi = 0
+	}
+	if diagHi < m-n {
+		diagHi = m - n
+	}
+
+	fa, occA := colFreqs(a)
+	fb, occB := colFreqs(b)
+	alphaLen := al.Sub.Alphabet().Len()
+	sb := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		v := make([]float64, alphaLen)
+		for x := 0; x < alphaLen; x++ {
+			var s float64
+			for y := 0; y < alphaLen; y++ {
+				if fb[j][y] != 0 {
+					s += fb[j][y] * al.Sub.ScoreIdx(x, y)
+				}
+			}
+			v[x] = s
+		}
+		sb[j] = v
+	}
+	colScore := func(i, j int) float64 {
+		var s float64
+		for x := 0; x < alphaLen; x++ {
+			if fa[i][x] != 0 {
+				s += fa[i][x] * sb[j][x]
+			}
+		}
+		return s * occA[i] * occB[j]
+	}
+
+	open, ext := al.Gap.Open, al.Gap.Extend
+	negInf := math.Inf(-1)
+	M := newMat(n+1, m+1)
+	X := newMat(n+1, m+1)
+	Y := newMat(n+1, m+1)
+	tbM := make([]byte, (n+1)*(m+1))
+	tbX := make([]byte, (n+1)*(m+1))
+	tbY := make([]byte, (n+1)*(m+1))
+	at := func(i, j int) int { return i*(m+1) + j }
+	const sM, sX, sY = 0, 1, 2
+
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			M[i][j], X[i][j], Y[i][j] = negInf, negInf, negInf
+		}
+	}
+	inBand := func(i, j int) bool {
+		d := j - i
+		return d >= diagLo && d <= diagHi
+	}
+	M[0][0] = 0
+	for i := 1; i <= n && inBand(i, 0); i++ {
+		X[i][0] = X0(i, X[i-1][0], open, ext, occA[i-1])
+		tbX[at(i, 0)] = sX
+	}
+	for j := 1; j <= m && inBand(0, j); j++ {
+		Y[0][j] = X0(j, Y[0][j-1], open, ext, occB[j-1])
+		tbY[at(0, j)] = sY
+	}
+
+	for i := 1; i <= n; i++ {
+		jLo := i + diagLo
+		if jLo < 1 {
+			jLo = 1
+		}
+		jHi := i + diagHi
+		if jHi > m {
+			jHi = m
+		}
+		for j := jLo; j <= jHi; j++ {
+			s := colScore(i-1, j-1)
+			bm, bs := byte(sM), M[i-1][j-1]
+			if X[i-1][j-1] > bs {
+				bm, bs = sX, X[i-1][j-1]
+			}
+			if Y[i-1][j-1] > bs {
+				bm, bs = sY, Y[i-1][j-1]
+			}
+			if bs > negInf {
+				M[i][j] = bs + s
+				tbM[at(i, j)] = bm
+			}
+			wA := occA[i-1]
+			openX := M[i-1][j] - (open+ext)*wA
+			extX := X[i-1][j] - ext*wA
+			if openX >= extX {
+				X[i][j] = openX
+				tbX[at(i, j)] = sM
+			} else {
+				X[i][j] = extX
+				tbX[at(i, j)] = sX
+			}
+			wB := occB[j-1]
+			openY := M[i][j-1] - (open+ext)*wB
+			extY := Y[i][j-1] - ext*wB
+			if openY >= extY {
+				Y[i][j] = openY
+				tbY[at(i, j)] = sM
+			} else {
+				Y[i][j] = extY
+				tbY[at(i, j)] = sY
+			}
+		}
+	}
+
+	state, score := byte(sM), M[n][m]
+	if X[n][m] > score {
+		state, score = sX, X[n][m]
+	}
+	if Y[n][m] > score {
+		state, score = sY, Y[n][m]
+	}
+	rev := make(Path, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch state {
+		case sM:
+			prev := tbM[at(i, j)]
+			rev = append(rev, OpMatch)
+			i--
+			j--
+			state = prev
+		case sX:
+			prev := tbX[at(i, j)]
+			rev = append(rev, OpA)
+			i--
+			state = prev
+		default:
+			prev := tbY[at(i, j)]
+			rev = append(rev, OpB)
+			j--
+			state = prev
+		}
+	}
+	for lo, hi := 0, len(rev)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		rev[lo], rev[hi] = rev[hi], rev[lo]
+	}
+	return rev, score
+}
+
+func (al *Aligner) alignTrivial(n, m int) (Path, float64) {
+	path := make(Path, 0, n+m)
+	for i := 0; i < n; i++ {
+		path = append(path, OpA)
+	}
+	for j := 0; j < m; j++ {
+		path = append(path, OpB)
+	}
+	return path, 0
+}

@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func randProfile(rng *rand.Rand, rows, width int) *Profile {
+	letters := bio.AminoAcids.Letters()
+	data := make([][]byte, rows)
+	for i := range data {
+		data[i] = make([]byte, width)
+		for j := range data[i] {
+			if rng.Intn(6) == 0 {
+				data[i][j] = bio.Gap
+			} else {
+				data[i][j] = letters[rng.Intn(len(letters))]
+			}
+		}
+	}
+	p, err := FromRows(bio.AminoAcids, data, nil)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestAlignBandedWideBandMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		pa := randProfile(rng, 1+rng.Intn(3), 5+rng.Intn(30))
+		pb := randProfile(rng, 1+rng.Intn(3), 5+rng.Intn(30))
+		fullPath, fullScore := testAligner.Align(pa, pb)
+		bandPath, bandScore := testAligner.AlignBanded(pa, pb, -100, 100)
+		if err := bandPath.Validate(pa.Len(), pb.Len()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if bandScore != fullScore {
+			t.Fatalf("trial %d: banded score %g != full %g (paths %v vs %v)",
+				trial, bandScore, fullScore, bandPath, fullPath)
+		}
+	}
+}
+
+func TestAlignBandedNarrowBandValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		pa := randProfile(rng, 2, 20+rng.Intn(20))
+		pb := randProfile(rng, 2, 20+rng.Intn(20))
+		path, score := testAligner.AlignBanded(pa, pb, -2, 2)
+		if err := path.Validate(pa.Len(), pb.Len()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, fullScore := testAligner.Align(pa, pb)
+		if score > fullScore+1e-9 {
+			t.Fatalf("trial %d: banded score %g exceeds optimum %g", trial, score, fullScore)
+		}
+	}
+}
+
+func TestAlignBandedEmptyProfiles(t *testing.T) {
+	pa := FromSequence(bio.AminoAcids, []byte("ACD"))
+	empty := &Profile{Alpha: bio.AminoAcids}
+	path, _ := testAligner.AlignBanded(pa, empty, -1, 1)
+	if err := path.Validate(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	path, _ = testAligner.AlignBanded(empty, pa, -1, 1)
+	if err := path.Validate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignBandedInvertedBandClamped(t *testing.T) {
+	// A caller passing lo > hi must still get a feasible band containing
+	// the corners.
+	pa := FromSequence(bio.AminoAcids, []byte("ACDEFGH"))
+	pb := FromSequence(bio.AminoAcids, []byte("ACDFGH"))
+	path, _ := testAligner.AlignBanded(pa, pb, 5, -5)
+	if err := path.Validate(7, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignBandedMergeRowsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pa := randProfile(rng, 2, 25)
+	pb := randProfile(rng, 3, 22)
+	path, _ := testAligner.AlignBanded(pa, pb, -8, 8)
+	merged, err := Merge(pa, pb, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != len(path) {
+		t.Fatalf("merged width %d != path length %d", merged.Len(), len(path))
+	}
+	if merged.Weight != pa.Weight+pb.Weight {
+		t.Fatalf("merged weight %g", merged.Weight)
+	}
+}

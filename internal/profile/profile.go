@@ -1,0 +1,425 @@
+// Package profile implements alignment profiles — position-specific
+// weighted residue frequency summaries of a multiple alignment — and the
+// profile–profile dynamic-programming alignment (PSP scoring, affine
+// gaps) that progressive MSA, ancestor construction and Sample-Align-D's
+// global-ancestor fine-tuning are all built on.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bio"
+	"repro/internal/submat"
+)
+
+// Column holds the weighted residue counts of one alignment column.
+type Column struct {
+	Counts []float64 // per alphabet letter, weighted occurrence counts
+	Gaps   float64   // weighted gap count
+}
+
+// Occupancy returns the fraction of (weighted) rows holding a residue in
+// this column.
+func (c *Column) Occupancy() float64 {
+	var res float64
+	for _, v := range c.Counts {
+		res += v
+	}
+	tot := res + c.Gaps
+	if tot == 0 {
+		return 0
+	}
+	return res / tot
+}
+
+// Residues returns the total weighted residue count of the column.
+func (c *Column) Residues() float64 {
+	var res float64
+	for _, v := range c.Counts {
+		res += v
+	}
+	return res
+}
+
+// Profile is a sequence of columns over an alphabet together with the
+// total row weight it summarises.
+type Profile struct {
+	Alpha  *bio.Alphabet
+	Cols   []Column
+	Weight float64 // total weight of the rows summarised
+}
+
+// Len returns the number of columns.
+func (p *Profile) Len() int { return len(p.Cols) }
+
+// FromRows builds a profile from equal-length aligned rows with the
+// given per-row weights (nil means unit weights).
+func FromRows(alpha *bio.Alphabet, rows [][]byte, weights []float64) (*Profile, error) {
+	if len(rows) == 0 {
+		return &Profile{Alpha: alpha}, nil
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("profile: row %d has length %d, want %d", i, len(r), width)
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, len(rows))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(rows) {
+		return nil, fmt.Errorf("profile: %d weights for %d rows", len(weights), len(rows))
+	}
+	p := &Profile{Alpha: alpha, Cols: make([]Column, width)}
+	for _, w := range weights {
+		p.Weight += w
+	}
+	for c := 0; c < width; c++ {
+		col := Column{Counts: make([]float64, alpha.Len())}
+		for r, row := range rows {
+			b := row[c]
+			if b == bio.Gap {
+				col.Gaps += weights[r]
+				continue
+			}
+			if idx := alpha.Index(b); idx >= 0 {
+				col.Counts[idx] += weights[r]
+			} else {
+				// Unknown residue: spread over all letters so it is
+				// near-neutral in scoring instead of silently dropped.
+				frac := weights[r] / float64(alpha.Len())
+				for k := range col.Counts {
+					col.Counts[k] += frac
+				}
+			}
+		}
+		p.Cols[c] = col
+	}
+	return p, nil
+}
+
+// FromSequence builds a single-row profile from an ungapped sequence.
+func FromSequence(alpha *bio.Alphabet, seq []byte) *Profile {
+	p, err := FromRows(alpha, [][]byte{seq}, nil)
+	if err != nil {
+		panic("profile: FromSequence: " + err.Error()) // single row cannot mismatch
+	}
+	return p
+}
+
+// Consensus extracts the profile's consensus ("ancestor") sequence: for
+// every column whose occupancy is at least minOcc, the letter with the
+// largest weighted count. This is the paper's local-ancestor extraction.
+func (p *Profile) Consensus(minOcc float64) []byte {
+	out := make([]byte, 0, len(p.Cols))
+	for i := range p.Cols {
+		col := &p.Cols[i]
+		if col.Occupancy() < minOcc {
+			continue
+		}
+		best, bestV := -1, 0.0
+		for k, v := range col.Counts {
+			if v > bestV {
+				best, bestV = k, v
+			}
+		}
+		if best >= 0 {
+			out = append(out, p.Alpha.Letter(best))
+		}
+	}
+	return out
+}
+
+// Op is one step of a profile alignment path.
+type Op byte
+
+const (
+	OpMatch Op = iota // consume a column from both profiles
+	OpA               // consume a column from A only (gap inserted in B)
+	OpB               // consume a column from B only (gap inserted in A)
+)
+
+// Path is a profile alignment: the column-merge recipe for two profiles.
+type Path []Op
+
+// Validate checks that the path consumes exactly lenA and lenB columns.
+func (path Path) Validate(lenA, lenB int) error {
+	a, b := 0, 0
+	for _, op := range path {
+		switch op {
+		case OpMatch:
+			a++
+			b++
+		case OpA:
+			a++
+		case OpB:
+			b++
+		default:
+			return fmt.Errorf("profile: invalid op %d", op)
+		}
+	}
+	if a != lenA || b != lenB {
+		return fmt.Errorf("profile: path consumes (%d,%d), want (%d,%d)", a, b, lenA, lenB)
+	}
+	return nil
+}
+
+// MergeRows applies a path to the two row sets that produced the aligned
+// profiles, yielding the merged alignment rows (A's rows first).
+func MergeRows(rowsA, rowsB [][]byte, path Path) [][]byte {
+	width := len(path)
+	out := make([][]byte, 0, len(rowsA)+len(rowsB))
+	build := func(rows [][]byte, takeA bool) {
+		for _, row := range rows {
+			merged := make([]byte, 0, width)
+			i := 0
+			for _, op := range path {
+				consume := op == OpMatch || (takeA && op == OpA) || (!takeA && op == OpB)
+				if consume {
+					merged = append(merged, row[i])
+					i++
+				} else {
+					merged = append(merged, bio.Gap)
+				}
+			}
+			out = append(out, merged)
+		}
+	}
+	build(rowsA, true)
+	build(rowsB, false)
+	return out
+}
+
+// Aligner aligns profiles with PSP (profile sum-of-pairs) column scores
+// and affine gap penalties scaled by the opposing column's occupancy, so
+// gapping against a sparsely occupied column is cheap.
+type Aligner struct {
+	Sub *submat.Matrix
+	Gap submat.Gap
+}
+
+// NewAligner returns a profile aligner over the matrix's alphabet.
+func NewAligner(sub *submat.Matrix, gap submat.Gap) *Aligner {
+	return &Aligner{Sub: sub, Gap: gap}
+}
+
+// freqs returns per-column normalised residue frequencies (excluding
+// gaps) and occupancies.
+func colFreqs(p *Profile) ([][]float64, []float64) {
+	f := make([][]float64, len(p.Cols))
+	occ := make([]float64, len(p.Cols))
+	for i := range p.Cols {
+		col := &p.Cols[i]
+		res := col.Residues()
+		occ[i] = col.Occupancy()
+		v := make([]float64, len(col.Counts))
+		if res > 0 {
+			for k, c := range col.Counts {
+				v[k] = c / res
+			}
+		}
+		f[i] = v
+	}
+	return f, occ
+}
+
+// Align computes the optimal path aligning profiles a and b and its
+// score. Either profile may be empty.
+func (al *Aligner) Align(a, b *Profile) (Path, float64) {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		path := make(Path, 0, n+m)
+		for i := 0; i < n; i++ {
+			path = append(path, OpA)
+		}
+		for j := 0; j < m; j++ {
+			path = append(path, OpB)
+		}
+		return path, 0
+	}
+	fa, occA := colFreqs(a)
+	fb, occB := colFreqs(b)
+	alphaLen := al.Sub.Alphabet().Len()
+
+	// Precompute expected score of each B column against every letter:
+	// sb[j][x] = Σ_y fb[j][y]·S(x,y), making each DP cell O(alphaLen).
+	sb := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		v := make([]float64, alphaLen)
+		for x := 0; x < alphaLen; x++ {
+			var s float64
+			for y := 0; y < alphaLen; y++ {
+				if fb[j][y] != 0 {
+					s += fb[j][y] * al.Sub.ScoreIdx(x, y)
+				}
+			}
+			v[x] = s
+		}
+		sb[j] = v
+	}
+	colScore := func(i, j int) float64 {
+		var s float64
+		for x := 0; x < alphaLen; x++ {
+			if fa[i][x] != 0 {
+				s += fa[i][x] * sb[j][x]
+			}
+		}
+		// Scale by occupancies so sparse columns influence less.
+		return s * occA[i] * occB[j]
+	}
+	open, ext := al.Gap.Open, al.Gap.Extend
+	negInf := math.Inf(-1)
+
+	M := newMat(n+1, m+1)
+	X := newMat(n+1, m+1) // consume A column, gap in B
+	Y := newMat(n+1, m+1)
+	tbM := make([]byte, (n+1)*(m+1))
+	tbX := make([]byte, (n+1)*(m+1))
+	tbY := make([]byte, (n+1)*(m+1))
+	at := func(i, j int) int { return i*(m+1) + j }
+	const sM, sX, sY = 0, 1, 2
+
+	M[0][0] = 0
+	X[0][0], Y[0][0] = negInf, negInf
+	for i := 1; i <= n; i++ {
+		M[i][0], Y[i][0] = negInf, negInf
+		X[i][0] = X0(i, X[i-1][0], open, ext, occA[i-1])
+		tbX[at(i, 0)] = sX
+	}
+	for j := 1; j <= m; j++ {
+		M[0][j], X[0][j] = negInf, negInf
+		Y[0][j] = X0(j, Y[0][j-1], open, ext, occB[j-1])
+		tbY[at(0, j)] = sY
+	}
+
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := colScore(i-1, j-1)
+			bm, bs := byte(sM), M[i-1][j-1]
+			if X[i-1][j-1] > bs {
+				bm, bs = sX, X[i-1][j-1]
+			}
+			if Y[i-1][j-1] > bs {
+				bm, bs = sY, Y[i-1][j-1]
+			}
+			M[i][j] = bs + s
+			tbM[at(i, j)] = bm
+
+			// gap in B against A column i-1: penalty scaled by how
+			// occupied the gapped-against column is
+			wA := occA[i-1]
+			openX := M[i-1][j] - (open+ext)*wA
+			extX := X[i-1][j] - ext*wA
+			if openX >= extX {
+				X[i][j] = openX
+				tbX[at(i, j)] = sM
+			} else {
+				X[i][j] = extX
+				tbX[at(i, j)] = sX
+			}
+			wB := occB[j-1]
+			openY := M[i][j-1] - (open+ext)*wB
+			extY := Y[i][j-1] - ext*wB
+			if openY >= extY {
+				Y[i][j] = openY
+				tbY[at(i, j)] = sM
+			} else {
+				Y[i][j] = extY
+				tbY[at(i, j)] = sY
+			}
+		}
+	}
+
+	state, score := byte(sM), M[n][m]
+	if X[n][m] > score {
+		state, score = sX, X[n][m]
+	}
+	if Y[n][m] > score {
+		state, score = sY, Y[n][m]
+	}
+	rev := make(Path, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch state {
+		case sM:
+			prev := tbM[at(i, j)]
+			rev = append(rev, OpMatch)
+			i--
+			j--
+			state = prev
+		case sX:
+			prev := tbX[at(i, j)]
+			rev = append(rev, OpA)
+			i--
+			state = prev
+		default:
+			prev := tbY[at(i, j)]
+			rev = append(rev, OpB)
+			j--
+			state = prev
+		}
+	}
+	// reverse the path
+	for lo, hi := 0, len(rev)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		rev[lo], rev[hi] = rev[hi], rev[lo]
+	}
+	return rev, score
+}
+
+// X0 accumulates the boundary gap cost for leading gaps: first column
+// pays open+ext, later ones pay ext, all scaled by occupancy.
+func X0(i int, prev, open, ext, occ float64) float64 {
+	if i == 1 {
+		return -(open + ext) * occ
+	}
+	return prev - ext*occ
+}
+
+// Merge applies a path to two profiles, producing the profile of the
+// merged alignment without rebuilding it from rows.
+func Merge(a, b *Profile, path Path) (*Profile, error) {
+	if err := path.Validate(a.Len(), b.Len()); err != nil {
+		return nil, err
+	}
+	alpha := a.Alpha
+	out := &Profile{Alpha: alpha, Weight: a.Weight + b.Weight, Cols: make([]Column, 0, len(path))}
+	gapCol := func(w float64) Column {
+		return Column{Counts: make([]float64, alpha.Len()), Gaps: w}
+	}
+	addCols := func(x, y Column) Column {
+		c := Column{Counts: make([]float64, alpha.Len()), Gaps: x.Gaps + y.Gaps}
+		for k := range c.Counts {
+			c.Counts[k] = x.Counts[k] + y.Counts[k]
+		}
+		return c
+	}
+	i, j := 0, 0
+	for _, op := range path {
+		switch op {
+		case OpMatch:
+			out.Cols = append(out.Cols, addCols(a.Cols[i], b.Cols[j]))
+			i++
+			j++
+		case OpA:
+			out.Cols = append(out.Cols, addCols(a.Cols[i], gapCol(b.Weight)))
+			i++
+		case OpB:
+			out.Cols = append(out.Cols, addCols(gapCol(a.Weight), b.Cols[j]))
+			j++
+		}
+	}
+	return out, nil
+}
+
+func newMat(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols], backing[cols:]
+	}
+	return m
+}

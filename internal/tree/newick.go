@@ -1,0 +1,166 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseNewick parses a binary Newick tree (the dialect produced by
+// Node.Newick: quoted or bare names, optional branch lengths, exactly two
+// children per internal node). Leaf IDs are assigned in order of
+// appearance for leaves whose names are not of the form "L<number>".
+func ParseNewick(s string) (*Node, error) {
+	p := &newickParser{input: strings.TrimSpace(s)}
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("newick: trailing data at offset %d", p.pos)
+	}
+	// assign IDs to leaves: L<number> names keep their number, others get
+	// sequential IDs in appearance order.
+	next := 0
+	var assign func(*Node)
+	assign = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			if id, ok := parseLeafName(n.Name); ok {
+				n.ID = id
+				n.Name = ""
+			} else {
+				n.ID = next
+			}
+			next++
+			return
+		}
+		n.ID = -1
+		assign(n.Left)
+		assign(n.Right)
+	}
+	assign(n)
+	return n, nil
+}
+
+func parseLeafName(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'L' {
+		return 0, false
+	}
+	id, err := strconv.Atoi(name[1:])
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+type newickParser struct {
+	input string
+	pos   int
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *newickParser) parseNode() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return nil, fmt.Errorf("newick: unexpected end of input")
+	}
+	if p.input[p.pos] == '(' {
+		p.pos++ // consume '('
+		left, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		leftLen, err := p.parseBranchLen()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.input) || p.input[p.pos] != ',' {
+			return nil, fmt.Errorf("newick: expected ',' at offset %d", p.pos)
+		}
+		p.pos++
+		right, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		rightLen, err := p.parseBranchLen()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.input) || p.input[p.pos] != ')' {
+			return nil, fmt.Errorf("newick: expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		name, _ := p.parseName()
+		return &Node{ID: -1, Name: name, Left: left, Right: right,
+			LeftLen: leftLen, RightLen: rightLen}, nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		return nil, fmt.Errorf("newick: empty leaf name at offset %d", p.pos)
+	}
+	return &Node{Name: name}, nil
+}
+
+func (p *newickParser) parseName() (string, error) {
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == '\'' {
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.input) {
+			c := p.input[p.pos]
+			if c == '\'' {
+				if p.pos+1 < len(p.input) && p.input[p.pos+1] == '\'' {
+					b.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return b.String(), nil
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		return "", fmt.Errorf("newick: unterminated quoted name")
+	}
+	start := p.pos
+	for p.pos < len(p.input) && !strings.ContainsRune("():;,", rune(p.input[p.pos])) {
+		p.pos++
+	}
+	return strings.TrimSpace(p.input[start:p.pos]), nil
+}
+
+// parseBranchLen consumes ":<float>" if present, else returns 0.
+func (p *newickParser) parseBranchLen() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != ':' {
+		return 0, nil
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.input) && !strings.ContainsRune("(),;", rune(p.input[p.pos])) {
+		p.pos++
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(p.input[start:p.pos]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("newick: bad branch length %q", p.input[start:p.pos])
+	}
+	return v, nil
+}

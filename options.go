@@ -1,0 +1,132 @@
+package samplealign
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+	"repro/internal/cons"
+	"repro/internal/core"
+	"repro/internal/mafft"
+	"repro/internal/msa"
+)
+
+// Option customises an Align run.
+type Option func(*settings) error
+
+type settings struct {
+	cfg core.Config
+}
+
+func buildConfig(opts []Option) (core.Config, error) {
+	var s settings
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return core.Config{}, err
+		}
+	}
+	return s.cfg, nil
+}
+
+// WithWorkers bounds the shared-memory workers used inside each rank
+// (default 1, modelling single-CPU cluster nodes).
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("samplealign: workers = %d", n)
+		}
+		s.cfg.Workers = n
+		return nil
+	}
+}
+
+// WithK sets the k-mer length used for ranking (default 6).
+func WithK(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("samplealign: k = %d", k)
+		}
+		s.cfg.K = k
+		return nil
+	}
+}
+
+// WithSampleSize sets k, the number of sample sequences each rank
+// contributes to the globalised rank (default max(p−1, 4)).
+func WithSampleSize(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("samplealign: sample size = %d", k)
+		}
+		s.cfg.SampleSize = k
+		return nil
+	}
+}
+
+// WithoutFineTune disables the global-ancestor fine-tuning step
+// (buckets are concatenated block-diagonally); exposed for ablation.
+func WithoutFineTune() Option {
+	return func(s *settings) error {
+		s.cfg.NoFineTune = true
+		return nil
+	}
+}
+
+// WithRandomSampling switches pivot selection from the paper's regular
+// sampling to uniform random sampling; exposed for ablation.
+func WithRandomSampling() Option {
+	return func(s *settings) error {
+		s.cfg.Sampling = core.RandomSampling
+		return nil
+	}
+}
+
+// WithFullAlphabet computes k-mers over the full 20-letter amino-acid
+// alphabet instead of the compressed Dayhoff classes; exposed for
+// ablation.
+func WithFullAlphabet() Option {
+	return func(s *settings) error {
+		s.cfg.Compress = bio.Identity(bio.AminoAcids)
+		if s.cfg.K == 0 {
+			s.cfg.K = 4 // 20^6 would overflow the code space
+		}
+		return nil
+	}
+}
+
+// NewAligner builds one of the built-in sequential MSA pipelines by name
+// (see SequentialAligners). Useful both standalone and via
+// WithLocalAligner.
+func NewAligner(name string, workers int) (msa.Aligner, error) {
+	switch name {
+	case "muscle":
+		return msa.MuscleLike(workers), nil
+	case "muscle-refined":
+		return msa.MuscleLikeRefined(workers, 2), nil
+	case "clustal":
+		return msa.ClustalLike(workers), nil
+	case "tcoffee":
+		return cons.New(workers), nil
+	case "fftnsi":
+		return mafft.NewFFTNSI(workers), nil
+	case "nwnsi":
+		return mafft.NewNWNSI(workers), nil
+	default:
+		return nil, fmt.Errorf("samplealign: unknown aligner %q (have %v)",
+			name, SequentialAligners())
+	}
+}
+
+// WithLocalAligner selects the sequential MSA pipeline run inside each
+// bucket by name (default "muscle").
+func WithLocalAligner(name string) Option {
+	return func(s *settings) error {
+		if _, err := NewAligner(name, 1); err != nil {
+			return err
+		}
+		s.cfg.NewLocalAligner = func(workers int) msa.Aligner {
+			al, _ := NewAligner(name, workers)
+			return al
+		}
+		return nil
+	}
+}
