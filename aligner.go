@@ -1,6 +1,7 @@
 package samplealign
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -24,7 +25,11 @@ type coreInprocAligner struct {
 func (a *coreInprocAligner) Name() string { return fmt.Sprintf("sample-align-d:%d", a.p) }
 
 func (a *coreInprocAligner) Align(seqs []Sequence) (*msa.Alignment, error) {
-	res, err := core.AlignInproc(seqs, a.p, a.cfg)
+	return a.AlignContext(context.Background(), seqs)
+}
+
+func (a *coreInprocAligner) AlignContext(ctx context.Context, seqs []Sequence) (*msa.Alignment, error) {
+	res, err := core.AlignInprocContext(ctx, seqs, a.p, a.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	samplealign "repro"
 )
@@ -28,6 +31,7 @@ func main() {
 	out := flag.String("out", "", "output FASTA file (rank 0 only; default stdout)")
 	workers := flag.Int("workers", 1, "shared-memory workers in this rank")
 	aligner := flag.String("aligner", "muscle", "bucket aligner")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	flag.Parse()
 
 	addrs := splitNonEmpty(*addrList)
@@ -45,7 +49,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "samplealignd: rank %d/%d, %d local sequences, listening on %s\n",
 		*rank, len(addrs), len(local), addrs[*rank])
 
-	aln, err := samplealign.AlignTCP(
+	// SIGINT/SIGTERM (and an optional -timeout deadline) cancel the run:
+	// the rank unwinds its collectives, closes its peer connections and
+	// exits instead of hanging the rest of the cluster.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	aln, err := samplealign.AlignTCPContext(ctx,
 		samplealign.TCPRankConfig{Rank: *rank, Addrs: addrs},
 		local,
 		samplealign.WithWorkers(*workers),

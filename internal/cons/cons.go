@@ -12,10 +12,12 @@
 package cons
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bio"
+	"repro/internal/dp"
 	"repro/internal/kmer"
 	"repro/internal/msa"
 	"repro/internal/pairwise"
@@ -110,6 +112,13 @@ func (l *library) weight(i int, a int, j int, b int) float64 {
 
 // Align runs the full consistency pipeline.
 func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
+	return a.AlignContext(context.Background(), seqs)
+}
+
+// AlignContext runs the full consistency pipeline under a context:
+// cancellation is observed between the expensive phases (library build,
+// consistency extension) and per guide-tree merge.
+func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.Alignment, error) {
 	switch len(seqs) {
 	case 0:
 		return &msa.Alignment{}, nil
@@ -129,11 +138,14 @@ func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
 	}
 
 	lib, dist := a.buildLibrary(clean)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if a.opts.Extend {
 		lib = a.extendLibrary(lib, clean)
 	}
 	gt := tree.NeighborJoining(dist, bio.IDs(seqs))
-	rows, ids, err := a.progressive(clean, gt, lib)
+	rows, ids, err := a.progressive(ctx, clean, gt, lib)
 	if err != nil {
 		return nil, err
 	}
@@ -285,9 +297,12 @@ type group struct {
 
 // progressive merges groups up the guide tree, scoring columns by
 // average library support.
-func (a *Aligner) progressive(seqs [][]byte, gt *tree.Node, lib *library) ([][]byte, []int, error) {
+func (a *Aligner) progressive(ctx context.Context, seqs [][]byte, gt *tree.Node, lib *library) ([][]byte, []int, error) {
 	var build func(n *tree.Node) (*group, error)
 	build = func(n *tree.Node) (*group, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n.IsLeaf() {
 			if n.ID < 0 || n.ID >= len(seqs) {
 				return nil, fmt.Errorf("cons: leaf id %d out of range", n.ID)
@@ -338,21 +353,28 @@ func (a *Aligner) mergeGroups(l, r *group, lib *library) *group {
 		}
 		return s / float64(len(l.ids)*len(r.ids))
 	}
-	// NW with zero gap cost, maximising total support
-	dp := make([][]float64, wa+1)
-	for i := range dp {
-		dp[i] = make([]float64, wb+1)
+	// NW with zero gap cost, maximising total support; the score plane
+	// comes from the pooled DP workspace.
+	w := dp.GetScore(wa+1, wb+1)
+	defer dp.Put(w)
+	mat := w.MP
+	cols := wb + 1
+	for j := 0; j <= wb; j++ {
+		mat[j] = 0
 	}
 	for i := 1; i <= wa; i++ {
+		row := i * cols
+		prev := row - cols
+		mat[row] = 0
 		for j := 1; j <= wb; j++ {
-			best := dp[i-1][j-1] + score(i-1, j-1)
-			if dp[i-1][j] > best {
-				best = dp[i-1][j]
+			best := mat[prev+j-1] + score(i-1, j-1)
+			if mat[prev+j] > best {
+				best = mat[prev+j]
 			}
-			if dp[i][j-1] > best {
-				best = dp[i][j-1]
+			if mat[row+j-1] > best {
+				best = mat[row+j-1]
 			}
-			dp[i][j] = best
+			mat[row+j] = best
 		}
 	}
 	// traceback into a merge recipe
@@ -364,11 +386,11 @@ func (a *Aligner) mergeGroups(l, r *group, lib *library) *group {
 	i, j := wa, wb
 	for i > 0 || j > 0 {
 		switch {
-		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+score(i-1, j-1):
+		case i > 0 && j > 0 && mat[i*cols+j] == mat[(i-1)*cols+j-1]+score(i-1, j-1):
 			rev = append(rev, opM)
 			i--
 			j--
-		case i > 0 && dp[i][j] == dp[i-1][j]:
+		case i > 0 && mat[i*cols+j] == mat[(i-1)*cols+j]:
 			rev = append(rev, opA)
 			i--
 		default:

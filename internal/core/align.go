@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -16,20 +17,42 @@ import (
 // its local slice of the input. The full alignment is returned on rank 0
 // (nil elsewhere); Stats are returned on every rank.
 func Align(c mpi.Comm, local []bio.Sequence, cfg Config) (*msa.Alignment, *Stats, error) {
+	return AlignContext(context.Background(), c, local, cfg)
+}
+
+// AlignContext is Align bound to a context. Cancelling ctx unwinds the
+// whole rank: blocking collectives unblock with the context's error, the
+// bucket MSA stops at its next merge, and the rank returns ctx.Err()
+// (context.Canceled after a cancel, context.DeadlineExceeded after a
+// missed deadline).
+func AlignContext(ctx context.Context, c mpi.Comm, local []bio.Sequence, cfg Config) (*msa.Alignment, *Stats, error) {
 	origs := make([]int64, len(local))
 	for i := range origs {
 		origs[i] = int64(c.Rank())<<40 | int64(i)
 	}
-	return alignTagged(c, local, origs, cfg)
+	return alignTagged(ctx, c, local, origs, cfg)
+}
+
+// ctxErr prefers the context's error over err once the context is done,
+// so a rank unblocked by a closed world still reports the cancellation
+// that caused it.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // alignTagged is Align with explicit per-sequence global ordering keys
 // (the inproc driver passes original input indices so the final
 // alignment comes back in input order).
-func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*msa.Alignment, *Stats, error) {
+func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*msa.Alignment, *Stats, error) {
 	if len(origs) != len(local) {
 		return nil, nil, fmt.Errorf("core: %d origin keys for %d sequences", len(origs), len(local))
 	}
+	// Bind the communicator to the context: every blocking Recv below —
+	// direct or inside a collective — now unblocks on cancellation.
+	c = mpi.WithContext(ctx, c)
 	cfg = cfg.withDefaults(c.Size())
 	stats := &Stats{Rank: c.Rank()}
 	tStart := time.Now()
@@ -52,9 +75,9 @@ func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*
 	if p == 1 {
 		bucket = seqs
 	} else {
-		bucket, err = redistribute(c, counter, seqs, cfg, stats)
+		bucket, err = redistribute(ctx, c, counter, seqs, cfg, stats)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, ctxErr(ctx, err)
 		}
 	}
 	stats.BucketSize = len(bucket)
@@ -67,8 +90,11 @@ func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*
 	for i, ws := range bucket {
 		bucketSeqs[i] = bio.Sequence{ID: ws.ID, Desc: ws.Desc, Data: ws.Data}
 	}
-	localAln, err := localAligner.Align(bucketSeqs)
+	localAln, err := msa.AlignWithContext(ctx, localAligner, bucketSeqs)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
 		return nil, nil, fmt.Errorf("core: rank %d local alignment: %w", c.Rank(), err)
 	}
 	stats.Timings.LocalAlign = time.Since(tPhase)
@@ -91,23 +117,26 @@ func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*
 	}
 	ancestors, err := mpi.GatherValues(c, 0, tagAncGather, localAnc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(ctx, err)
 	}
 	var ga []byte
 	if c.Rank() == 0 {
-		ga, err = globalAncestor(ancestors, localAligner, cfg)
+		ga, err = globalAncestor(ctx, ancestors, localAligner, cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, ctxErr(ctx, err)
 		}
 	}
 	if err := mpi.BcastValue(c, 0, tagGA, ga, &ga); err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(ctx, err)
 	}
 	stats.GALen = len(ga)
 	stats.Timings.Ancestor = time.Since(tPhase)
 
 	// ------- fine-tune against the GA template and glue at the root
 	tPhase = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	path, err := templatePath(localAln, ga, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -117,7 +146,7 @@ func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*
 	tPhase = time.Now()
 	final, err := glue(c, localAln, bucket, path, len(ga), cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(ctx, err)
 	}
 	stats.Timings.Glue = time.Since(tPhase)
 	stats.Timings.Total = time.Since(tStart)
@@ -126,17 +155,24 @@ func alignTagged(c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*
 }
 
 // redistribute performs the sampling, pivoting and all-to-all exchange
-// phases, returning this rank's bucket.
-func redistribute(c mpi.Comm, counter *kmer.Counter, seqs []wireSeq, cfg Config, stats *Stats) ([]wireSeq, error) {
+// phases, returning this rank's bucket. The communicator is already
+// context-bound by the caller; ctx is checked between compute phases.
+func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs []wireSeq, cfg Config, stats *Stats) ([]wireSeq, error) {
 	p, rank := c.Size(), c.Rank()
 
 	// --- phase 1: local rank + local sort
 	tPhase := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	profiles := make([]kmer.Profile, len(seqs))
 	for i := range seqs {
 		profiles[i] = counter.Profile(seqs[i].Data)
 	}
-	localRanks := kmer.Ranks(profiles, profiles, cfg.RankScale, cfg.Workers)
+	localRanks, err := kmer.RanksContext(ctx, profiles, profiles, cfg.RankScale, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	for i := range seqs {
 		seqs[i].Rank = localRanks[i]
 	}
@@ -146,6 +182,9 @@ func redistribute(c mpi.Comm, counter *kmer.Counter, seqs []wireSeq, cfg Config,
 
 	// --- phase 2: sample exchange + globalised rank
 	tPhase = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k := cfg.SampleSize
 	if k > len(seqs) {
 		k = len(seqs)
@@ -165,7 +204,10 @@ func redistribute(c mpi.Comm, counter *kmer.Counter, seqs []wireSeq, cfg Config,
 			samplePool = append(samplePool, counter.Profile(data))
 		}
 	}
-	globalRanks := kmer.Ranks(profiles, samplePool, cfg.RankScale, cfg.Workers)
+	globalRanks, err := kmer.RanksContext(ctx, profiles, samplePool, cfg.RankScale, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	for i := range seqs {
 		seqs[i].Rank = globalRanks[i]
 	}
@@ -318,7 +360,7 @@ func selectPivots(all []float64, p int) []float64 {
 
 // globalAncestor aligns the non-empty local ancestors and extracts the
 // consensus of their alignment.
-func globalAncestor(ancestors [][]byte, aligner msa.Aligner, cfg Config) ([]byte, error) {
+func globalAncestor(ctx context.Context, ancestors [][]byte, aligner msa.Aligner, cfg Config) ([]byte, error) {
 	var ancSeqs []bio.Sequence
 	for r, a := range ancestors {
 		if len(a) == 0 {
@@ -332,7 +374,7 @@ func globalAncestor(ancestors [][]byte, aligner msa.Aligner, cfg Config) ([]byte
 	case 1:
 		return ancSeqs[0].Data, nil
 	}
-	aln, err := aligner.Align(ancSeqs)
+	aln, err := msa.AlignWithContext(ctx, aligner, ancSeqs)
 	if err != nil {
 		return nil, fmt.Errorf("core: ancestor alignment: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,13 @@ type Result struct {
 // are dealt out block-wise (rank r gets seqs[r·N/p:(r+1)·N/p]) and the
 // final alignment is returned in input order.
 func AlignInproc(seqs []bio.Sequence, p int, cfg Config) (*Result, error) {
+	return AlignInprocContext(context.Background(), seqs, p, cfg)
+}
+
+// AlignInprocContext is AlignInproc bound to a context: cancelling ctx
+// unwinds all p ranks (each returns the context's error) and
+// AlignInprocContext reports it.
+func AlignInprocContext(ctx context.Context, seqs []bio.Sequence, p int, cfg Config) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("core: p = %d", p)
 	}
@@ -31,8 +39,8 @@ func AlignInproc(seqs []bio.Sequence, p int, cfg Config) (*Result, error) {
 
 	res := &Result{Stats: make([]*Stats, p)}
 	var mu sync.Mutex
-	err := mpi.Run(p, func(c mpi.Comm) error {
-		aln, stats, err := alignTagged(c, parts[c.Rank()], origParts[c.Rank()], cfg)
+	err := mpi.RunContext(ctx, p, func(c mpi.Comm) error {
+		aln, stats, err := alignTagged(ctx, c, parts[c.Rank()], origParts[c.Rank()], cfg)
 		if err != nil {
 			return err
 		}
@@ -93,7 +101,12 @@ func (a *InprocAligner) Name() string { return fmt.Sprintf("sample-align-d(p=%d)
 
 // Align satisfies msa.Aligner.
 func (a *InprocAligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
-	res, err := AlignInproc(seqs, a.P, a.Cfg)
+	return a.AlignContext(context.Background(), seqs)
+}
+
+// AlignContext satisfies msa.ContextAligner.
+func (a *InprocAligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.Alignment, error) {
+	res, err := AlignInprocContext(ctx, seqs, a.P, a.Cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,154 @@
+// Package dp provides pooled, reusable scratch memory for the
+// dynamic-programming alignment kernels in internal/pairwise,
+// internal/profile and internal/mafft.
+//
+// A progressive alignment of a large bucket performs thousands of DP
+// passes, and allocating three O(n·m) float64 score planes plus
+// traceback arrays per pass makes the allocator and GC a first-order
+// cost. A Workspace holds all of that scratch as flat backing arrays
+// that grow in place and are recycled through a sync.Pool: a kernel
+// borrows with Get, fills the planes it needs, and returns the
+// workspace with Put, so steady-state kernels run allocation-free.
+//
+// The three per-state traceback arrays of the classic affine-gap
+// formulation are merged into a single byte plane: each cell packs the
+// M-, X- and Y-state predecessors into three 2-bit fields (PackTB /
+// TBM / TBX / TBY), cutting traceback memory threefold and halving the
+// number of backing arrays.
+//
+// Kernels must write every cell they later read (score planes are not
+// zeroed between borrows); all kernels in this repository initialise
+// their boundaries and fill their band/interior before tracing back,
+// so recycled garbage is never observed.
+package dp
+
+import "sync"
+
+// Traceback states shared by every affine-gap kernel: which DP plane a
+// cell's best predecessor lives in. Stop marks the start of a fresh
+// local alignment (Smith-Waterman).
+const (
+	M byte = iota
+	X
+	Y
+	Stop
+)
+
+// PackTB packs the three per-plane predecessor states of one cell into
+// a single byte (2 bits each).
+func PackTB(m, x, y byte) byte { return m | x<<2 | y<<4 }
+
+// TBM extracts the M-plane predecessor from a packed traceback byte.
+func TBM(b byte) byte { return b & 3 }
+
+// TBX extracts the X-plane predecessor from a packed traceback byte.
+func TBX(b byte) byte { return (b >> 2) & 3 }
+
+// TBY extracts the Y-plane predecessor from a packed traceback byte.
+func TBY(b byte) byte { return (b >> 4) & 3 }
+
+// Workspace is the reusable scratch arena of one DP pass: three flat
+// score planes (M/X/Y, rows×cols each), one merged traceback plane and
+// a float64 arena for kernel-specific scratch (profile frequencies,
+// expected-score tables, rolling rows).
+//
+// A Workspace is not safe for concurrent use; borrow one per goroutine
+// with Get.
+type Workspace struct {
+	// MP, XP, YP are the match / gap-in-B / gap-in-A score planes,
+	// indexed with At. Valid up to rows*cols after Reserve.
+	MP, XP, YP []float64
+	// TB is the merged traceback plane, one packed byte per cell
+	// (see PackTB). Not zeroed between borrows.
+	TB []byte
+
+	rows, cols int
+
+	aux    []float64
+	auxOff int
+}
+
+// Reserve sizes all four planes for a rows×cols affine-gap DP and
+// resets the scratch arena. Backing arrays grow in place (never
+// shrink), so repeated borrows of similar sizes allocate nothing.
+func (w *Workspace) Reserve(rows, cols int) {
+	n := rows * cols
+	w.MP = growF(w.MP, n)
+	w.XP = growF(w.XP, n)
+	w.YP = growF(w.YP, n)
+	if cap(w.TB) < n {
+		w.TB = make([]byte, n)
+	}
+	w.TB = w.TB[:n]
+	w.rows, w.cols = rows, cols
+	w.auxOff = 0
+}
+
+// ReserveScore sizes only the MP plane (rows×cols) for single-plane
+// kernels — linear-gap DP, score-only rolling rows — leaving XP/YP/TB
+// at zero length so a score-only borrow commits one float64 per cell,
+// not four planes.
+func (w *Workspace) ReserveScore(rows, cols int) {
+	w.MP = growF(w.MP, rows*cols)
+	w.XP = w.XP[:0]
+	w.YP = w.YP[:0]
+	w.TB = w.TB[:0]
+	w.rows, w.cols = rows, cols
+	w.auxOff = 0
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Rows returns the reserved row count.
+func (w *Workspace) Rows() int { return w.rows }
+
+// Cols returns the reserved column count (the flat-index stride).
+func (w *Workspace) Cols() int { return w.cols }
+
+// At returns the flat index of cell (i, j).
+func (w *Workspace) At(i, j int) int { return i*w.cols + j }
+
+// Floats hands out a zeroed length-n slice from the workspace's scratch
+// arena. Slices stay valid until the next Reserve; when the arena must
+// grow, previously handed-out slices keep their (old) backing array, so
+// a borrow may mix slices from two backings — callers never notice.
+func (w *Workspace) Floats(n int) []float64 {
+	if w.auxOff+n > len(w.aux) {
+		w.aux = make([]float64, 2*len(w.aux)+n)
+		w.auxOff = 0
+	}
+	s := w.aux[w.auxOff : w.auxOff+n : w.auxOff+n]
+	w.auxOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+var pool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// Get borrows a workspace from the pool sized for a rows×cols DP.
+// Return it with Put when the kernel is done (after copying out any
+// results that alias workspace memory).
+func Get(rows, cols int) *Workspace {
+	w := pool.Get().(*Workspace)
+	w.Reserve(rows, cols)
+	return w
+}
+
+// GetScore borrows a workspace with only the MP plane sized (see
+// ReserveScore). Return it with Put.
+func GetScore(rows, cols int) *Workspace {
+	w := pool.Get().(*Workspace)
+	w.ReserveScore(rows, cols)
+	return w
+}
+
+// Put returns a workspace to the pool. The caller must not touch the
+// workspace (or slices obtained from Floats) afterwards.
+func Put(w *Workspace) { pool.Put(w) }

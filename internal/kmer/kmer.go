@@ -10,6 +10,7 @@
 package kmer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -245,10 +246,18 @@ func Rank(d, scale float64) float64 { return math.Log(0.1 + scale*d) }
 // the reference contributes its self-distance of 0, exactly as the
 // paper's centralised definition does.
 func AvgDistances(targets, reference []Profile, workers int) []float64 {
+	out, _ := AvgDistancesContext(context.Background(), targets, reference, workers)
+	return out
+}
+
+// AvgDistancesContext is AvgDistances bound to a context: this O(N·R)
+// pass dominates the redistribution phases on large inputs, so it stops
+// dispatching rows on cancellation.
+func AvgDistancesContext(ctx context.Context, targets, reference []Profile, workers int) ([]float64, error) {
 	if len(reference) == 0 {
-		return make([]float64, len(targets))
+		return make([]float64, len(targets)), ctx.Err()
 	}
-	return par.Map(len(targets), workers, func(i int) float64 {
+	return par.MapCtx(ctx, len(targets), workers, func(i int) float64 {
 		var sum float64
 		for j := range reference {
 			sum += Distance(targets[i], reference[j])
@@ -261,9 +270,18 @@ func AvgDistances(targets, reference []Profile, workers int) []float64 {
 // set: centralised ranks when reference is the full data set, globalised
 // ranks when it is the k·p sample.
 func Ranks(targets, reference []Profile, scale float64, workers int) []float64 {
-	ds := AvgDistances(targets, reference, workers)
+	out, _ := RanksContext(context.Background(), targets, reference, scale, workers)
+	return out
+}
+
+// RanksContext is Ranks bound to a context (see AvgDistancesContext).
+func RanksContext(ctx context.Context, targets, reference []Profile, scale float64, workers int) ([]float64, error) {
+	ds, err := AvgDistancesContext(ctx, targets, reference, workers)
+	if err != nil {
+		return nil, err
+	}
 	for i, d := range ds {
 		ds[i] = Rank(d, scale)
 	}
-	return ds
+	return ds, nil
 }

@@ -11,6 +11,7 @@
 package mafft
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -83,6 +84,13 @@ func (a *Aligner) Name() string { return a.name }
 
 // Align runs the pipeline.
 func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
+	return a.AlignContext(context.Background(), seqs)
+}
+
+// AlignContext runs the pipeline under a context: cancellation is
+// observed between phases, per guide-tree merge and per refinement
+// split.
+func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.Alignment, error) {
 	switch len(seqs) {
 	case 0:
 		return &msa.Alignment{}, nil
@@ -102,7 +110,7 @@ func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
 	dist := kmer.DistanceMatrix(profiles, a.opts.Workers)
 	gt := tree.UPGMA(dist, bio.IDs(seqs))
 
-	aln, err := a.alignWithTree(seqs, gt)
+	aln, err := a.alignWithTree(ctx, seqs, gt)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +119,10 @@ func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
 		prog := msa.NewProgressive(msa.Options{
 			Sub: a.opts.Sub, Gap: a.opts.Gap, Workers: a.opts.Workers,
 		})
-		aln = prog.RefineAlignment(aln, gt, a.opts.Refine)
+		aln, err = prog.RefineAlignmentContext(ctx, aln, gt, a.opts.Refine)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return aln, nil
 }
@@ -121,12 +132,15 @@ type group struct {
 	ids  []int
 }
 
-func (a *Aligner) alignWithTree(seqs []bio.Sequence, gt *tree.Node) (*msa.Alignment, error) {
+func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tree.Node) (*msa.Alignment, error) {
 	alpha := a.opts.Sub.Alphabet()
 	palign := profile.NewAligner(a.opts.Sub, a.opts.Gap)
 
 	var build func(n *tree.Node) (*group, error)
 	build = func(n *tree.Node) (*group, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n.IsLeaf() {
 			if n.ID < 0 || n.ID >= len(seqs) {
 				return nil, fmt.Errorf("mafft: leaf id %d out of range", n.ID)

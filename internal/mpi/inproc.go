@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -12,18 +13,26 @@ type message struct {
 }
 
 // mailbox is one rank's inbound queue with (source, tag) matching.
-// Messages from the same (source, tag) are matched FIFO.
+// Messages from the same (source, tag) are matched FIFO. Waiters block
+// on a broadcast channel that is closed-and-replaced on every push, so
+// a blocked pop can also race a context's Done channel — that is how
+// cancellation reaches every blocking Recv and, through them, the
+// collectives.
+//
+// A source can be marked dead (its transport hit EOF): queued messages
+// from it stay deliverable, but a pop that would otherwise wait for a
+// future message from it fails immediately instead of hanging — this is
+// how one crashed or cancelled TCP rank unwinds its whole world.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []message
-	closed bool
+	mu      sync.Mutex
+	queue   []message
+	wake    chan struct{} // closed and replaced on push/close (broadcast)
+	closed  bool
+	deadSrc map[int]error
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mailbox{wake: make(chan struct{})}
 }
 
 func (mb *mailbox) push(m message) error {
@@ -33,32 +42,68 @@ func (mb *mailbox) push(m message) error {
 		return ErrClosed
 	}
 	mb.queue = append(mb.queue, m)
-	mb.cond.Broadcast()
+	close(mb.wake)
+	mb.wake = make(chan struct{})
 	return nil
 }
 
-func (mb *mailbox) pop(src, tag int) ([]byte, error) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+// pop blocks until a message with the given source and tag arrives, the
+// mailbox closes, the source is marked dead, or ctx is cancelled.
+// Queued messages win over closure and death, so an early-finishing
+// peer's already-sent data is always drainable.
+func (mb *mailbox) pop(ctx context.Context, src, tag int) ([]byte, error) {
 	for {
+		mb.mu.Lock()
 		for i := range mb.queue {
 			if mb.queue[i].src == src && mb.queue[i].tag == tag {
 				data := mb.queue[i].data
 				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				mb.mu.Unlock()
 				return data, nil
 			}
 		}
 		if mb.closed {
+			mb.mu.Unlock()
 			return nil, ErrClosed
 		}
-		mb.cond.Wait()
+		if err := mb.deadSrc[src]; err != nil {
+			mb.mu.Unlock()
+			return nil, err
+		}
+		wake := mb.wake
+		mb.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+}
+
+// markDead records that src will never produce another message (its
+// connection is gone) and wakes blocked waiters so pops on it fail
+// fast with err instead of hanging.
+func (mb *mailbox) markDead(src int, err error) {
+	mb.mu.Lock()
+	if !mb.closed {
+		if mb.deadSrc == nil {
+			mb.deadSrc = make(map[int]error)
+		}
+		if mb.deadSrc[src] == nil {
+			mb.deadSrc[src] = err
+		}
+		close(mb.wake)
+		mb.wake = make(chan struct{})
+	}
+	mb.mu.Unlock()
 }
 
 func (mb *mailbox) close() {
 	mb.mu.Lock()
-	mb.closed = true
-	mb.cond.Broadcast()
+	if !mb.closed {
+		mb.closed = true
+		close(mb.wake)
+	}
 	mb.mu.Unlock()
 }
 
@@ -121,10 +166,14 @@ func (c *inprocComm) Send(to, tag int, data []byte) error {
 }
 
 func (c *inprocComm) Recv(from, tag int) ([]byte, error) {
+	return c.RecvContext(context.Background(), from, tag)
+}
+
+func (c *inprocComm) RecvContext(ctx context.Context, from, tag int) ([]byte, error) {
 	if from < 0 || from >= c.world.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d of %d", from, c.world.size)
 	}
-	data, err := c.world.boxes[c.rank].pop(from, tag)
+	data, err := c.world.boxes[c.rank].pop(ctx, from, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +190,31 @@ func (c *inprocComm) Close() error {
 // waits for all of them. It returns the first non-nil error; on error the
 // world is closed so other ranks unblock.
 func Run(size int, fn func(Comm) error) error {
+	return RunContext(context.Background(), size, fn)
+}
+
+// RunContext is Run bound to a context: when ctx is cancelled the world
+// is closed, so every rank blocked in a Recv (directly or inside a
+// collective) unblocks and the SPMD program unwinds. Rank functions that
+// want to observe the cancellation reason should check ctx themselves
+// (core does) or use a context-bound communicator via WithContext.
+func RunContext(ctx context.Context, size int, fn func(Comm) error) error {
 	w, err := NewWorld(size)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
+
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.Close() // unblock every rank
+		case <-done:
+		}
+	}()
+
 	errs := make(chan error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -163,7 +232,7 @@ func Run(size int, fn func(Comm) error) error {
 	case err := <-errs:
 		return err
 	default:
-		return nil
+		return ctx.Err()
 	}
 }
 

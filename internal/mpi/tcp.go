@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -40,6 +41,13 @@ type tcpComm struct {
 // Every rank of the world must call DialTCP concurrently (they block on
 // each other).
 func DialTCP(cfg TCPConfig) (Comm, error) {
+	return DialTCPContext(context.Background(), cfg)
+}
+
+// DialTCPContext is DialTCP bound to a context: cancelling ctx aborts
+// the mesh setup (pending accepts and dial retries stop) and the call
+// returns ctx.Err().
+func DialTCPContext(ctx context.Context, cfg TCPConfig) (Comm, error) {
 	size := len(cfg.Addrs)
 	if cfg.Rank < 0 || cfg.Rank >= size {
 		return nil, fmt.Errorf("mpi: tcp rank %d of %d", cfg.Rank, size)
@@ -67,6 +75,19 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 		return nil, fmt.Errorf("mpi: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
 	}
 	c.listener = ln
+
+	// Abort the whole mesh setup if ctx is cancelled: closing the
+	// listener unblocks Accept, and the dial loops poll ctx between
+	// retries.
+	setupDone := make(chan struct{})
+	defer close(setupDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-setupDone:
+		}
+	}()
 
 	var wg sync.WaitGroup
 	errs := make(chan error, size)
@@ -122,7 +143,12 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 					errs <- fmt.Errorf("mpi: rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Addrs[peer], err)
 					return
 				}
-				time.Sleep(cfg.DialRetry)
+				select {
+				case <-ctx.Done():
+					errs <- ctx.Err()
+					return
+				case <-time.After(cfg.DialRetry):
+				}
 			}
 		}(peer)
 	}
@@ -131,8 +157,15 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 	select {
 	case err := <-errs:
 		c.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		c.Close()
+		return nil, err
 	}
 
 	// start one reader per peer
@@ -146,10 +179,14 @@ func DialTCP(cfg TCPConfig) (Comm, error) {
 }
 
 func (c *tcpComm) readLoop(peer int, conn net.Conn) {
+	// On any exit the peer is marked dead: its queued messages stay
+	// deliverable, but Recvs waiting on future messages from it fail
+	// fast instead of hanging the rank when a peer crashes or cancels.
+	defer c.box.markDead(peer, fmt.Errorf("mpi: rank %d disconnected: %w", peer, ErrClosed))
 	var hdr [12]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return // connection closed; pending Recvs unblock via Close
+			return
 		}
 		tag := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
 		length := binary.LittleEndian.Uint32(hdr[8:])
@@ -203,10 +240,14 @@ func (c *tcpComm) Send(to, tag int, data []byte) error {
 }
 
 func (c *tcpComm) Recv(from, tag int) ([]byte, error) {
+	return c.RecvContext(context.Background(), from, tag)
+}
+
+func (c *tcpComm) RecvContext(ctx context.Context, from, tag int) ([]byte, error) {
 	if from < 0 || from >= c.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d of %d", from, c.size)
 	}
-	data, err := c.box.pop(from, tag)
+	data, err := c.box.pop(ctx, from, tag)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs reserves n loopback ports and returns their addresses. The
@@ -171,4 +172,38 @@ func TestTCPInvalidConfig(t *testing.T) {
 	if _, err := DialTCP(TCPConfig{Rank: 3, Addrs: []string{"a", "b"}}); err == nil {
 		t.Fatal("out-of-range rank accepted")
 	}
+}
+
+func TestTCPPeerDeathFailsPendingRecv(t *testing.T) {
+	// When a peer's connection drops, a Recv waiting on a *future*
+	// message from it must fail fast instead of hanging the rank —
+	// but messages the peer sent before dying must stay drainable.
+	runTCP(t, 2, func(c Comm) error {
+		if c.Rank() == 1 {
+			if err := c.Send(0, 7, []byte("parting gift")); err != nil {
+				return err
+			}
+			return c.Close()
+		}
+		// rank 0: the queued message arrives even though rank 1 dies
+		d, err := c.Recv(1, 7)
+		if err != nil || string(d) != "parting gift" {
+			return fmt.Errorf("queued drain: %q, %v", d, err)
+		}
+		// ...but waiting on a message rank 1 never sent errors out
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Recv(1, 8)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				return fmt.Errorf("recv from dead peer succeeded")
+			}
+			return nil
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("recv from dead peer hung")
+		}
+	})
 }

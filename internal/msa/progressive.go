@@ -1,6 +1,7 @@
 package msa
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bio"
@@ -19,6 +20,26 @@ import (
 type Aligner interface {
 	Name() string
 	Align(seqs []bio.Sequence) (*Alignment, error)
+}
+
+// ContextAligner is an Aligner whose runs can be cancelled through a
+// context: a long alignment observes cancellation at phase and
+// guide-tree-merge granularity and returns the context's error.
+type ContextAligner interface {
+	Aligner
+	AlignContext(ctx context.Context, seqs []bio.Sequence) (*Alignment, error)
+}
+
+// AlignWithContext runs a's AlignContext when it supports cancellation,
+// falling back to plain Align (after an upfront ctx check) otherwise.
+func AlignWithContext(ctx context.Context, a Aligner, seqs []bio.Sequence) (*Alignment, error) {
+	if ca, ok := a.(ContextAligner); ok {
+		return ca.AlignContext(ctx, seqs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.Align(seqs)
 }
 
 // DistanceMethod selects how the guide-tree distance matrix is computed.
@@ -124,6 +145,12 @@ func (p *Progressive) Options() Options { return p.opts }
 
 // DistanceMatrix computes the configured guide-tree distance matrix.
 func (p *Progressive) DistanceMatrix(seqs []bio.Sequence) (*kmer.Matrix, error) {
+	return p.DistanceMatrixContext(context.Background(), seqs)
+}
+
+// DistanceMatrixContext is DistanceMatrix bound to a context; the
+// O(N²·L²) PID path stops dispatching pair rows on cancellation.
+func (p *Progressive) DistanceMatrixContext(ctx context.Context, seqs []bio.Sequence) (*kmer.Matrix, error) {
 	switch p.opts.Distance {
 	case KmerDistance:
 		counter, err := kmer.NewCounter(p.opts.Compress, p.opts.K)
@@ -131,17 +158,22 @@ func (p *Progressive) DistanceMatrix(seqs []bio.Sequence) (*kmer.Matrix, error) 
 			return nil, err
 		}
 		profiles := counter.Profiles(seqs, p.opts.Workers)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return kmer.DistanceMatrix(profiles, p.opts.Workers), nil
 	case PIDDistance:
 		n := len(seqs)
 		m := kmer.NewMatrix(n)
 		al := pairwise.Aligner{Sub: p.opts.Sub, Gap: p.opts.Gap}
-		par.ForDynamic(n, p.opts.Workers, func(i int) {
+		if err := par.ForDynamicCtx(ctx, n, p.opts.Workers, func(i int) {
 			for j := i + 1; j < n; j++ {
 				r := al.Global(seqs[i].Data, seqs[j].Data)
 				m.Set(i, j, 1-pairwise.Identity(r.A, r.B))
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		return m, nil
 	default:
 		return nil, fmt.Errorf("msa: unknown distance method %d", p.opts.Distance)
@@ -161,6 +193,13 @@ func (p *Progressive) GuideTree(d *kmer.Matrix, seqs []bio.Sequence) *tree.Node 
 
 // Align runs the full progressive pipeline.
 func (p *Progressive) Align(seqs []bio.Sequence) (*Alignment, error) {
+	return p.AlignContext(context.Background(), seqs)
+}
+
+// AlignContext runs the full progressive pipeline under a context:
+// cancellation is observed between phases, per guide-tree merge and per
+// refinement split, and surfaces as the context's error.
+func (p *Progressive) AlignContext(ctx context.Context, seqs []bio.Sequence) (*Alignment, error) {
 	switch len(seqs) {
 	case 0:
 		return &Alignment{}, nil
@@ -172,7 +211,7 @@ func (p *Progressive) Align(seqs []bio.Sequence) (*Alignment, error) {
 			return nil, fmt.Errorf("msa: sequence %q is empty", seqs[i].ID)
 		}
 	}
-	d, err := p.DistanceMatrix(seqs)
+	d, err := p.DistanceMatrixContext(ctx, seqs)
 	if err != nil {
 		return nil, err
 	}
@@ -181,12 +220,15 @@ func (p *Progressive) Align(seqs []bio.Sequence) (*Alignment, error) {
 	if p.opts.Weighting {
 		weights = TreeWeights(gt, len(seqs))
 	}
-	aln, err := p.AlignWithTree(seqs, gt, weights)
+	aln, err := p.AlignWithTreeContext(ctx, seqs, gt, weights)
 	if err != nil {
 		return nil, err
 	}
 	if p.opts.Refine > 0 {
-		aln = p.RefineAlignment(aln, gt, p.opts.Refine)
+		aln, err = p.RefineAlignmentContext(ctx, aln, gt, p.opts.Refine)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return aln, nil
 }
@@ -200,6 +242,12 @@ type group struct {
 // AlignWithTree performs the post-order progressive merge over an
 // explicit guide tree. weights may be nil (unit weights).
 func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
+	return p.AlignWithTreeContext(context.Background(), seqs, gt, weights)
+}
+
+// AlignWithTreeContext is AlignWithTree bound to a context, checked
+// before every profile merge (the unit of work that dominates cost).
+func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
 	alpha := p.opts.Sub.Alphabet()
 	palign := profile.NewAligner(p.opts.Sub, p.opts.Gap)
 
@@ -212,6 +260,9 @@ func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights 
 
 	var build func(n *tree.Node) (*group, error)
 	build = func(n *tree.Node) (*group, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n.IsLeaf() {
 			if n.ID < 0 || n.ID >= len(seqs) {
 				return nil, fmt.Errorf("msa: guide tree leaf id %d out of range", n.ID)

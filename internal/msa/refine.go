@@ -1,6 +1,8 @@
 package msa
 
 import (
+	"context"
+
 	"repro/internal/bio"
 	"repro/internal/profile"
 	"repro/internal/tree"
@@ -13,8 +15,16 @@ import (
 // sampled) SP score does not decrease. `rounds` full passes over the
 // edges are made; refinement stops early when a pass changes nothing.
 func (p *Progressive) RefineAlignment(aln *Alignment, gt *tree.Node, rounds int) *Alignment {
+	out, _ := p.RefineAlignmentContext(context.Background(), aln, gt, rounds)
+	return out
+}
+
+// RefineAlignmentContext is RefineAlignment bound to a context, checked
+// before every split realignment. On cancellation it returns the best
+// alignment found so far together with the context's error.
+func (p *Progressive) RefineAlignmentContext(ctx context.Context, aln *Alignment, gt *tree.Node, rounds int) (*Alignment, error) {
 	if aln.NumSeqs() < 3 || rounds <= 0 {
-		return aln
+		return aln, ctx.Err()
 	}
 	// collect the leaf set of every internal edge (child side)
 	var splits [][]int
@@ -34,6 +44,9 @@ func (p *Progressive) RefineAlignment(aln *Alignment, gt *tree.Node, rounds int)
 	for round := 0; round < rounds; round++ {
 		improved := false
 		for _, split := range splits {
+			if err := ctx.Err(); err != nil {
+				return current, err
+			}
 			candidate, err := p.realignSplit(current, split)
 			if err != nil {
 				continue
@@ -47,7 +60,7 @@ func (p *Progressive) RefineAlignment(aln *Alignment, gt *tree.Node, rounds int)
 			break
 		}
 	}
-	return current
+	return current, ctx.Err()
 }
 
 // refineScore is the objective used to accept refinement steps: exact SP

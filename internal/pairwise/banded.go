@@ -1,7 +1,7 @@
 package pairwise
 
 import (
-	"repro/internal/bio"
+	"repro/internal/dp"
 )
 
 // GlobalBanded aligns a and b globally while restricting the DP to a
@@ -29,13 +29,10 @@ func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 		hi = m - n
 	}
 
-	M := newMat(n+1, m+1)
-	X := newMat(n+1, m+1)
-	Y := newMat(n+1, m+1)
-	tbM := make([]byte, (n+1)*(m+1))
-	tbX := make([]byte, (n+1)*(m+1))
-	tbY := make([]byte, (n+1)*(m+1))
-	at := func(i, j int) int { return i*(m+1) + j }
+	w := dp.Get(n+1, m+1)
+	defer dp.Put(w)
+	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
+	cols := m + 1
 	open, ext := al.Gap.Open, al.Gap.Extend
 
 	inBand := func(i, j int) bool {
@@ -43,19 +40,17 @@ func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 		return d >= lo && d <= hi
 	}
 
-	for i := 0; i <= n; i++ {
-		for j := 0; j <= m; j++ {
-			M[i][j], X[i][j], Y[i][j] = negInf, negInf, negInf
-		}
+	for i := range M {
+		M[i], X[i], Y[i] = negInf, negInf, negInf
 	}
-	M[0][0] = 0
+	M[0] = 0
 	for i := 1; i <= n && inBand(i, 0); i++ {
-		X[i][0] = -(open + float64(i)*ext)
-		tbX[at(i, 0)] = stX
+		X[i*cols] = -(open + float64(i)*ext)
+		tb[i*cols] = dp.PackTB(stM, stX, stM)
 	}
 	for j := 1; j <= m && inBand(0, j); j++ {
-		Y[0][j] = -(open + float64(j)*ext)
-		tbY[at(0, j)] = stY
+		Y[j] = -(open + float64(j)*ext)
+		tb[j] = dp.PackTB(stM, stM, stY)
 	}
 
 	for i := 1; i <= n; i++ {
@@ -67,75 +62,54 @@ func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 		if jHi > m {
 			jHi = m
 		}
+		row := i * cols
+		prev := row - cols
 		for j := jLo; j <= jHi; j++ {
 			s := al.Sub.Score(a[i-1], b[j-1])
-			bm, bs := stM, M[i-1][j-1]
-			if X[i-1][j-1] > bs {
-				bm, bs = stX, X[i-1][j-1]
+			d := prev + j - 1
+			bm, bs := stM, M[d]
+			if X[d] > bs {
+				bm, bs = stX, X[d]
 			}
-			if Y[i-1][j-1] > bs {
-				bm, bs = stY, Y[i-1][j-1]
+			if Y[d] > bs {
+				bm, bs = stY, Y[d]
 			}
 			if bs > negInf {
-				M[i][j] = bs + s
-				tbM[at(i, j)] = bm
+				M[row+j] = bs + s
+			} else {
+				bm = stM
 			}
 
-			openX := M[i-1][j] - open - ext
-			extX := X[i-1][j] - ext
-			if openX >= extX {
-				X[i][j] = openX
-				tbX[at(i, j)] = stM
+			up := prev + j
+			bx := stM
+			openX := M[up] - open - ext
+			if extX := X[up] - ext; openX >= extX {
+				X[row+j] = openX
 			} else {
-				X[i][j] = extX
-				tbX[at(i, j)] = stX
+				X[row+j] = extX
+				bx = stX
 			}
-			openY := M[i][j-1] - open - ext
-			extY := Y[i][j-1] - ext
-			if openY >= extY {
-				Y[i][j] = openY
-				tbY[at(i, j)] = stM
+			left := row + j - 1
+			by := stM
+			openY := M[left] - open - ext
+			if extY := Y[left] - ext; openY >= extY {
+				Y[row+j] = openY
 			} else {
-				Y[i][j] = extY
-				tbY[at(i, j)] = stY
+				Y[row+j] = extY
+				by = stY
 			}
+			tb[row+j] = dp.PackTB(bm, bx, by)
 		}
 	}
 
-	state, score := stM, M[n][m]
-	if X[n][m] > score {
-		state, score = stX, X[n][m]
+	end := n*cols + m
+	state, score := stM, M[end]
+	if X[end] > score {
+		state, score = stX, X[end]
 	}
-	if Y[n][m] > score {
-		state, score = stY, Y[n][m]
+	if Y[end] > score {
+		state, score = stY, Y[end]
 	}
-	ra := make([]byte, 0, n+m)
-	rb := make([]byte, 0, n+m)
-	i, j := n, m
-	for i > 0 || j > 0 {
-		switch state {
-		case stM:
-			prev := tbM[at(i, j)]
-			ra = append(ra, a[i-1])
-			rb = append(rb, b[j-1])
-			i--
-			j--
-			state = prev
-		case stX:
-			prev := tbX[at(i, j)]
-			ra = append(ra, a[i-1])
-			rb = append(rb, bio.Gap)
-			i--
-			state = prev
-		default:
-			prev := tbY[at(i, j)]
-			ra = append(ra, bio.Gap)
-			rb = append(rb, b[j-1])
-			j--
-			state = prev
-		}
-	}
-	reverse(ra)
-	reverse(rb)
+	ra, rb := traceAffine(w, a, b, state)
 	return Result{A: ra, B: rb, Score: score}
 }

@@ -2,6 +2,7 @@ package pairwise
 
 import (
 	"repro/internal/bio"
+	"repro/internal/dp"
 )
 
 // Hirschberg aligns a and b globally in O(len(a)·len(b)) time but only
@@ -51,11 +52,15 @@ func (al Aligner) hirschberg(a, b []byte, gapSym float64) ([]byte, []byte) {
 }
 
 // nwScoreRow returns the last row of the linear-gap NW score matrix for
-// aligning a against every prefix of b.
+// aligning a against every prefix of b. The rolling rows come from the
+// workspace pool; the returned row is a fresh allocation (it outlives
+// the borrow).
 func (al Aligner) nwScoreRow(a, b []byte, gapSym float64) []float64 {
 	m := len(b)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	w := dp.GetScore(2, m+1)
+	defer dp.Put(w)
+	prev, cur := w.MP[:m+1], w.MP[m+1:]
+	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = prev[j-1] - gapSym
 	}
@@ -69,25 +74,33 @@ func (al Aligner) nwScoreRow(a, b []byte, gapSym float64) []float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev
+	out := make([]float64, m+1)
+	copy(out, prev)
+	return out
 }
 
 // nwLinear is a full-matrix linear-gap NW used for the base cases.
 func (al Aligner) nwLinear(a, b []byte, gapSym float64) Result {
 	n, m := len(a), len(b)
-	score := newMat(n+1, m+1)
+	w := dp.GetScore(n+1, m+1)
+	defer dp.Put(w)
+	score := w.MP
+	cols := m + 1
+	score[0] = 0
 	for i := 1; i <= n; i++ {
-		score[i][0] = score[i-1][0] - gapSym
+		score[i*cols] = score[(i-1)*cols] - gapSym
 	}
 	for j := 1; j <= m; j++ {
-		score[0][j] = score[0][j-1] - gapSym
+		score[j] = score[j-1] - gapSym
 	}
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
 		for j := 1; j <= m; j++ {
-			score[i][j] = max3(
-				score[i-1][j-1]+al.Sub.Score(a[i-1], b[j-1]),
-				score[i-1][j]-gapSym,
-				score[i][j-1]-gapSym,
+			score[row+j] = max3(
+				score[prev+j-1]+al.Sub.Score(a[i-1], b[j-1]),
+				score[prev+j]-gapSym,
+				score[row+j-1]-gapSym,
 			)
 		}
 	}
@@ -96,12 +109,12 @@ func (al Aligner) nwLinear(a, b []byte, gapSym float64) Result {
 	i, j := n, m
 	for i > 0 || j > 0 {
 		switch {
-		case i > 0 && j > 0 && score[i][j] == score[i-1][j-1]+al.Sub.Score(a[i-1], b[j-1]):
+		case i > 0 && j > 0 && score[i*cols+j] == score[(i-1)*cols+j-1]+al.Sub.Score(a[i-1], b[j-1]):
 			ra = append(ra, a[i-1])
 			rb = append(rb, b[j-1])
 			i--
 			j--
-		case i > 0 && score[i][j] == score[i-1][j]-gapSym:
+		case i > 0 && score[i*cols+j] == score[(i-1)*cols+j]-gapSym:
 			ra = append(ra, a[i-1])
 			rb = append(rb, bio.Gap)
 			i--
@@ -113,7 +126,7 @@ func (al Aligner) nwLinear(a, b []byte, gapSym float64) Result {
 	}
 	reverse(ra)
 	reverse(rb)
-	return Result{A: ra, B: rb, Score: score[n][m]}
+	return Result{A: ra, B: rb, Score: score[n*cols+m]}
 }
 
 func gapRun(n int) []byte {

@@ -6,12 +6,17 @@
 //
 // Scores are maximised; gap penalties are supplied as positive costs and a
 // gap of length g costs Open + g·Extend.
+//
+// All kernels run on pooled dp.Workspace scratch memory, so repeated
+// calls (a progressive alignment makes thousands) allocate only their
+// results, not their O(n·m) DP planes.
 package pairwise
 
 import (
 	"math"
 
 	"repro/internal/bio"
+	"repro/internal/dp"
 	"repro/internal/submat"
 )
 
@@ -37,11 +42,11 @@ type Result struct {
 
 var negInf = math.Inf(-1)
 
-// traceback states
+// traceback states (shared with the dp package's packed traceback)
 const (
-	stM byte = iota // match/mismatch
-	stX             // gap in B (A residue over '-')
-	stY             // gap in A ('-' over B residue)
+	stM = dp.M // match/mismatch
+	stX = dp.X // gap in B (A residue over '-')
+	stY = dp.Y // gap in A ('-' over B residue)
 )
 
 // Global aligns a and b end to end with affine gap penalties and returns
@@ -50,118 +55,126 @@ func (al Aligner) Global(a, b []byte) Result {
 	n, m := len(a), len(b)
 	open, ext := al.Gap.Open, al.Gap.Extend
 
-	// DP matrices. M: last pair aligned; X: gap in b; Y: gap in a.
-	M := newMat(n+1, m+1)
-	X := newMat(n+1, m+1)
-	Y := newMat(n+1, m+1)
-	// per-state traceback: which state each cell came from
-	tbM := make([]byte, (n+1)*(m+1))
-	tbX := make([]byte, (n+1)*(m+1))
-	tbY := make([]byte, (n+1)*(m+1))
-	at := func(i, j int) int { return i*(m+1) + j }
+	// DP planes. M: last pair aligned; X: gap in b; Y: gap in a.
+	w := dp.Get(n+1, m+1)
+	defer dp.Put(w)
+	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
+	cols := m + 1
 
-	M[0][0] = 0
-	X[0][0], Y[0][0] = negInf, negInf
+	M[0] = 0
+	X[0], Y[0] = negInf, negInf
 	for i := 1; i <= n; i++ {
-		M[i][0], Y[i][0] = negInf, negInf
-		X[i][0] = -(open + float64(i)*ext)
-		tbX[at(i, 0)] = stX
+		idx := i * cols
+		M[idx], Y[idx] = negInf, negInf
+		X[idx] = -(open + float64(i)*ext)
+		tb[idx] = dp.PackTB(stM, stX, stM)
 	}
 	for j := 1; j <= m; j++ {
-		M[0][j], X[0][j] = negInf, negInf
-		Y[0][j] = -(open + float64(j)*ext)
-		tbY[at(0, j)] = stY
+		M[j], X[j] = negInf, negInf
+		Y[j] = -(open + float64(j)*ext)
+		tb[j] = dp.PackTB(stM, stM, stY)
 	}
 
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
 		for j := 1; j <= m; j++ {
 			s := al.Sub.Score(a[i-1], b[j-1])
 			// M from best of three diagonal predecessors
-			bm, bs := stM, M[i-1][j-1]
-			if X[i-1][j-1] > bs {
-				bm, bs = stX, X[i-1][j-1]
+			d := prev + j - 1
+			bm, bs := stM, M[d]
+			if X[d] > bs {
+				bm, bs = stX, X[d]
 			}
-			if Y[i-1][j-1] > bs {
-				bm, bs = stY, Y[i-1][j-1]
+			if Y[d] > bs {
+				bm, bs = stY, Y[d]
 			}
-			M[i][j] = bs + s
-			tbM[at(i, j)] = bm
+			M[row+j] = bs + s
 
 			// X: consume a[i-1] against a gap
-			openX := M[i-1][j] - open - ext
-			extX := X[i-1][j] - ext
-			if openX >= extX {
-				X[i][j] = openX
-				tbX[at(i, j)] = stM
+			up := prev + j
+			bx := stM
+			openX := M[up] - open - ext
+			if extX := X[up] - ext; openX >= extX {
+				X[row+j] = openX
 			} else {
-				X[i][j] = extX
-				tbX[at(i, j)] = stX
+				X[row+j] = extX
+				bx = stX
 			}
 
 			// Y: consume b[j-1] against a gap
-			openY := M[i][j-1] - open - ext
-			extY := Y[i][j-1] - ext
-			if openY >= extY {
-				Y[i][j] = openY
-				tbY[at(i, j)] = stM
+			left := row + j - 1
+			by := stM
+			openY := M[left] - open - ext
+			if extY := Y[left] - ext; openY >= extY {
+				Y[row+j] = openY
 			} else {
-				Y[i][j] = extY
-				tbY[at(i, j)] = stY
+				Y[row+j] = extY
+				by = stY
 			}
+			tb[row+j] = dp.PackTB(bm, bx, by)
 		}
 	}
 
 	// choose the best final state and trace back
-	state, score := stM, M[n][m]
-	if X[n][m] > score {
-		state, score = stX, X[n][m]
+	end := n*cols + m
+	state, score := stM, M[end]
+	if X[end] > score {
+		state, score = stX, X[end]
 	}
-	if Y[n][m] > score {
-		state, score = stY, Y[n][m]
+	if Y[end] > score {
+		state, score = stY, Y[end]
 	}
+	ra, rb := traceAffine(w, a, b, state)
+	return Result{A: ra, B: rb, Score: score}
+}
 
+// traceAffine follows the packed traceback plane from (len(a), len(b))
+// back to the origin, emitting the gapped rows. Shared by Global and
+// GlobalBanded.
+func traceAffine(w *dp.Workspace, a, b []byte, state byte) ([]byte, []byte) {
+	n, m := len(a), len(b)
 	ra := make([]byte, 0, n+m)
 	rb := make([]byte, 0, n+m)
 	i, j := n, m
 	for i > 0 || j > 0 {
+		cell := w.TB[w.At(i, j)]
 		switch state {
 		case stM:
-			prev := tbM[at(i, j)]
 			ra = append(ra, a[i-1])
 			rb = append(rb, b[j-1])
 			i--
 			j--
-			state = prev
+			state = dp.TBM(cell)
 		case stX:
-			prev := tbX[at(i, j)]
 			ra = append(ra, a[i-1])
 			rb = append(rb, bio.Gap)
 			i--
-			state = prev
+			state = dp.TBX(cell)
 		default: // stY
-			prev := tbY[at(i, j)]
 			ra = append(ra, bio.Gap)
 			rb = append(rb, b[j-1])
 			j--
-			state = prev
+			state = dp.TBY(cell)
 		}
 	}
 	reverse(ra)
 	reverse(rb)
-	return Result{A: ra, B: rb, Score: score}
+	return ra, rb
 }
 
 // GlobalScore computes the optimal global alignment score in O(min) memory
-// without a traceback — two rolling rows per DP matrix.
+// without a traceback — two rolling rows per DP plane, borrowed from the
+// workspace pool.
 func (al Aligner) GlobalScore(a, b []byte) float64 {
 	n, m := len(a), len(b)
 	open, ext := al.Gap.Open, al.Gap.Extend
-	prevM := make([]float64, m+1)
-	prevX := make([]float64, m+1)
-	prevY := make([]float64, m+1)
-	curM := make([]float64, m+1)
-	curX := make([]float64, m+1)
-	curY := make([]float64, m+1)
+	w := dp.Get(2, m+1)
+	defer dp.Put(w)
+	cols := m + 1
+	prevM, curM := w.MP[:cols], w.MP[cols:]
+	prevX, curX := w.XP[:cols], w.XP[cols:]
+	prevY, curY := w.YP[:cols], w.YP[cols:]
 
 	prevM[0] = 0
 	prevX[0], prevY[0] = negInf, negInf
@@ -190,67 +203,67 @@ func (al Aligner) GlobalScore(a, b []byte) float64 {
 func (al Aligner) Local(a, b []byte) Result {
 	n, m := len(a), len(b)
 	open, ext := al.Gap.Open, al.Gap.Extend
-	M := newMat(n+1, m+1)
-	X := newMat(n+1, m+1)
-	Y := newMat(n+1, m+1)
-	tbM := make([]byte, (n+1)*(m+1))
-	tbX := make([]byte, (n+1)*(m+1))
-	tbY := make([]byte, (n+1)*(m+1))
-	at := func(i, j int) int { return i*(m+1) + j }
-	const stStop byte = 3
+	w := dp.Get(n+1, m+1)
+	defer dp.Put(w)
+	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
+	cols := m + 1
+	const stStop = dp.Stop
 
 	for i := 0; i <= n; i++ {
-		M[i][0], X[i][0], Y[i][0] = 0, negInf, negInf
+		idx := i * cols
+		M[idx], X[idx], Y[idx] = 0, negInf, negInf
 	}
 	for j := 0; j <= m; j++ {
-		M[0][j], X[0][j], Y[0][j] = 0, negInf, negInf
+		M[j], X[j], Y[j] = 0, negInf, negInf
 	}
 
 	bestI, bestJ, bestScore := 0, 0, 0.0
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
 		for j := 1; j <= m; j++ {
 			s := al.Sub.Score(a[i-1], b[j-1])
 			// Best predecessor, clamped at the empty alignment (score 0).
 			// stStop marks "this pair starts a fresh alignment".
-			bm, bs := stM, M[i-1][j-1]
-			if X[i-1][j-1] > bs {
-				bm, bs = stX, X[i-1][j-1]
+			d := prev + j - 1
+			bm, bs := stM, M[d]
+			if X[d] > bs {
+				bm, bs = stX, X[d]
 			}
-			if Y[i-1][j-1] > bs {
-				bm, bs = stY, Y[i-1][j-1]
+			if Y[d] > bs {
+				bm, bs = stY, Y[d]
 			}
 			if bs <= 0 {
 				bm, bs = stStop, 0
 			}
-			v := bs + s
-			if v <= 0 {
-				M[i][j] = 0
-				tbM[at(i, j)] = stStop
+			if v := bs + s; v <= 0 {
+				M[row+j] = 0
+				bm = stStop
 			} else {
-				M[i][j] = v
-				tbM[at(i, j)] = bm
+				M[row+j] = v
 			}
 
-			openX := M[i-1][j] - open - ext
-			extX := X[i-1][j] - ext
-			if openX >= extX {
-				X[i][j] = openX
-				tbX[at(i, j)] = stM
+			up := prev + j
+			bx := stM
+			openX := M[up] - open - ext
+			if extX := X[up] - ext; openX >= extX {
+				X[row+j] = openX
 			} else {
-				X[i][j] = extX
-				tbX[at(i, j)] = stX
+				X[row+j] = extX
+				bx = stX
 			}
-			openY := M[i][j-1] - open - ext
-			extY := Y[i][j-1] - ext
-			if openY >= extY {
-				Y[i][j] = openY
-				tbY[at(i, j)] = stM
+			left := row + j - 1
+			by := stM
+			openY := M[left] - open - ext
+			if extY := Y[left] - ext; openY >= extY {
+				Y[row+j] = openY
 			} else {
-				Y[i][j] = extY
-				tbY[at(i, j)] = stY
+				Y[row+j] = extY
+				by = stY
 			}
-			if M[i][j] > bestScore {
-				bestI, bestJ, bestScore = i, j, M[i][j]
+			tb[row+j] = dp.PackTB(bm, bx, by)
+			if M[row+j] > bestScore {
+				bestI, bestJ, bestScore = i, j, M[row+j]
 			}
 		}
 	}
@@ -261,11 +274,12 @@ func (al Aligner) Local(a, b []byte) Result {
 	rb := make([]byte, 0, 64)
 	i, j, state := bestI, bestJ, stM
 	for i > 0 && j > 0 {
+		cell := tb[i*cols+j]
 		switch state {
 		case stM:
 			// A cell whose predecessor is stStop consumed its residue
 			// pair starting from the empty alignment: emit it, then stop.
-			prev := tbM[at(i, j)]
+			prev := dp.TBM(cell)
 			ra = append(ra, a[i-1])
 			rb = append(rb, b[j-1])
 			i--
@@ -276,31 +290,20 @@ func (al Aligner) Local(a, b []byte) Result {
 			}
 			state = prev
 		case stX:
-			prev := tbX[at(i, j)]
 			ra = append(ra, a[i-1])
 			rb = append(rb, bio.Gap)
 			i--
-			state = prev
+			state = dp.TBX(cell)
 		default:
-			prev := tbY[at(i, j)]
 			ra = append(ra, bio.Gap)
 			rb = append(rb, b[j-1])
 			j--
-			state = prev
+			state = dp.TBY(cell)
 		}
 	}
 	reverse(ra)
 	reverse(rb)
 	return Result{A: ra, B: rb, Score: bestScore}
-}
-
-func newMat(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i], backing = backing[:cols], backing[cols:]
-	}
-	return m
 }
 
 func max3(a, b, c float64) float64 {

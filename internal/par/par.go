@@ -2,9 +2,14 @@
 // by the compute kernels: a parallel for-loop over an index range and a
 // bounded worker pool. Distribution across "cluster nodes" is the job of
 // internal/mpi; par only exploits the cores inside one node.
+//
+// The *Ctx variants stop dispatching new indices once their context is
+// cancelled and return the context's error; already-running body calls
+// finish first, so bodies never observe a half-cancelled loop.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -18,8 +23,15 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // locality. For blocks until every call returns. workers <= 0 selects
 // DefaultWorkers(); n <= 0 is a no-op.
 func For(n, workers int, body func(i int)) {
+	_ = ForCtx(context.Background(), n, workers, body)
+}
+
+// ForCtx is For bound to a context: when ctx is cancelled the workers
+// stop picking up new indices and ForCtx returns ctx.Err() (indices
+// already dispatched complete). A nil error means every index ran.
+func ForCtx(ctx context.Context, n, workers int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -27,11 +39,19 @@ func For(n, workers int, body func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			body(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -48,19 +68,34 @@ func For(n, workers int, body func(i int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				body(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ForDynamic is like For but hands out indices one at a time from a
 // shared counter, which balances load when per-index cost varies wildly
 // (for example, distance-matrix rows of decreasing length).
 func ForDynamic(n, workers int, body func(i int)) {
+	_ = ForDynamicCtx(context.Background(), n, workers, body)
+}
+
+// ForDynamicCtx is ForDynamic bound to a context: the dispatcher stops
+// handing out indices once ctx is cancelled and ForDynamicCtx returns
+// ctx.Err() (in-flight body calls complete first).
+func ForDynamicCtx(ctx context.Context, n, workers int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -68,18 +103,30 @@ func ForDynamic(n, workers int, body func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			body(i)
 		}
-		return
+		return ctx.Err()
 	}
 	next := make(chan int)
 	go func() {
+		defer close(next)
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-done:
+				return
+			}
 		}
-		close(next)
 	}()
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -92,6 +139,7 @@ func ForDynamic(n, workers int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map applies f to every element index of a length-n virtual slice and
@@ -100,4 +148,12 @@ func Map[T any](n, workers int, f func(i int) T) []T {
 	out := make([]T, n)
 	For(n, workers, func(i int) { out[i] = f(i) })
 	return out
+}
+
+// MapCtx is Map bound to a context: on cancellation the returned slice
+// is partially filled and the context's error is returned.
+func MapCtx[T any](ctx context.Context, n, workers int, f func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForCtx(ctx, n, workers, func(i int) { out[i] = f(i) })
+	return out, err
 }

@@ -2,6 +2,8 @@ package profile
 
 import (
 	"math"
+
+	"repro/internal/dp"
 )
 
 // AlignBanded is Align restricted to diagonals j−i ∈ [diagLo, diagHi]
@@ -32,61 +34,30 @@ func (al *Aligner) AlignBanded(a, b *Profile, diagLo, diagHi int) (Path, float64
 		diagHi = m - n
 	}
 
-	fa, occA := colFreqs(a)
-	fb, occB := colFreqs(b)
-	alphaLen := al.Sub.Alphabet().Len()
-	sb := make([][]float64, m)
-	for j := 0; j < m; j++ {
-		v := make([]float64, alphaLen)
-		for x := 0; x < alphaLen; x++ {
-			var s float64
-			for y := 0; y < alphaLen; y++ {
-				if fb[j][y] != 0 {
-					s += fb[j][y] * al.Sub.ScoreIdx(x, y)
-				}
-			}
-			v[x] = s
-		}
-		sb[j] = v
-	}
-	colScore := func(i, j int) float64 {
-		var s float64
-		for x := 0; x < alphaLen; x++ {
-			if fa[i][x] != 0 {
-				s += fa[i][x] * sb[j][x]
-			}
-		}
-		return s * occA[i] * occB[j]
-	}
-
+	w := dp.Get(n+1, m+1)
+	defer dp.Put(w)
+	sc := al.pspSetup(w, a, b)
 	open, ext := al.Gap.Open, al.Gap.Extend
 	negInf := math.Inf(-1)
-	M := newMat(n+1, m+1)
-	X := newMat(n+1, m+1)
-	Y := newMat(n+1, m+1)
-	tbM := make([]byte, (n+1)*(m+1))
-	tbX := make([]byte, (n+1)*(m+1))
-	tbY := make([]byte, (n+1)*(m+1))
-	at := func(i, j int) int { return i*(m+1) + j }
-	const sM, sX, sY = 0, 1, 2
+	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
+	cols := m + 1
 
-	for i := 0; i <= n; i++ {
-		for j := 0; j <= m; j++ {
-			M[i][j], X[i][j], Y[i][j] = negInf, negInf, negInf
-		}
+	for i := range M {
+		M[i], X[i], Y[i] = negInf, negInf, negInf
 	}
 	inBand := func(i, j int) bool {
 		d := j - i
 		return d >= diagLo && d <= diagHi
 	}
-	M[0][0] = 0
+	M[0] = 0
 	for i := 1; i <= n && inBand(i, 0); i++ {
-		X[i][0] = X0(i, X[i-1][0], open, ext, occA[i-1])
-		tbX[at(i, 0)] = sX
+		idx := i * cols
+		X[idx] = X0(i, X[idx-cols], open, ext, sc.occA[i-1])
+		tb[idx] = dp.PackTB(sM, sX, sM)
 	}
 	for j := 1; j <= m && inBand(0, j); j++ {
-		Y[0][j] = X0(j, Y[0][j-1], open, ext, occB[j-1])
-		tbY[at(0, j)] = sY
+		Y[j] = X0(j, Y[j-1], open, ext, sc.occB[j-1])
+		tb[j] = dp.PackTB(sM, sM, sY)
 	}
 
 	for i := 1; i <= n; i++ {
@@ -98,75 +69,58 @@ func (al *Aligner) AlignBanded(a, b *Profile, diagLo, diagHi int) (Path, float64
 		if jHi > m {
 			jHi = m
 		}
+		row := i * cols
+		prev := row - cols
+		wA := sc.occA[i-1]
+		openA, extA := (open+ext)*wA, ext*wA
 		for j := jLo; j <= jHi; j++ {
-			s := colScore(i-1, j-1)
-			bm, bs := byte(sM), M[i-1][j-1]
-			if X[i-1][j-1] > bs {
-				bm, bs = sX, X[i-1][j-1]
+			s := sc.colScore(i-1, j-1)
+			d := prev + j - 1
+			bm, bs := sM, M[d]
+			if X[d] > bs {
+				bm, bs = sX, X[d]
 			}
-			if Y[i-1][j-1] > bs {
-				bm, bs = sY, Y[i-1][j-1]
+			if Y[d] > bs {
+				bm, bs = sY, Y[d]
 			}
 			if bs > negInf {
-				M[i][j] = bs + s
-				tbM[at(i, j)] = bm
-			}
-			wA := occA[i-1]
-			openX := M[i-1][j] - (open+ext)*wA
-			extX := X[i-1][j] - ext*wA
-			if openX >= extX {
-				X[i][j] = openX
-				tbX[at(i, j)] = sM
+				M[row+j] = bs + s
 			} else {
-				X[i][j] = extX
-				tbX[at(i, j)] = sX
+				bm = sM
 			}
-			wB := occB[j-1]
-			openY := M[i][j-1] - (open+ext)*wB
-			extY := Y[i][j-1] - ext*wB
-			if openY >= extY {
-				Y[i][j] = openY
-				tbY[at(i, j)] = sM
+
+			up := prev + j
+			bx := sM
+			openX := M[up] - openA
+			if extX := X[up] - extA; openX >= extX {
+				X[row+j] = openX
 			} else {
-				Y[i][j] = extY
-				tbY[at(i, j)] = sY
+				X[row+j] = extX
+				bx = sX
 			}
+			wB := sc.occB[j-1]
+			left := row + j - 1
+			by := sM
+			openY := M[left] - (open+ext)*wB
+			if extY := Y[left] - ext*wB; openY >= extY {
+				Y[row+j] = openY
+			} else {
+				Y[row+j] = extY
+				by = sY
+			}
+			tb[row+j] = dp.PackTB(bm, bx, by)
 		}
 	}
 
-	state, score := byte(sM), M[n][m]
-	if X[n][m] > score {
-		state, score = sX, X[n][m]
+	end := n*cols + m
+	state, score := sM, M[end]
+	if X[end] > score {
+		state, score = sX, X[end]
 	}
-	if Y[n][m] > score {
-		state, score = sY, Y[n][m]
+	if Y[end] > score {
+		state, score = sY, Y[end]
 	}
-	rev := make(Path, 0, n+m)
-	i, j := n, m
-	for i > 0 || j > 0 {
-		switch state {
-		case sM:
-			prev := tbM[at(i, j)]
-			rev = append(rev, OpMatch)
-			i--
-			j--
-			state = prev
-		case sX:
-			prev := tbX[at(i, j)]
-			rev = append(rev, OpA)
-			i--
-			state = prev
-		default:
-			prev := tbY[at(i, j)]
-			rev = append(rev, OpB)
-			j--
-			state = prev
-		}
-	}
-	for lo, hi := 0, len(rev)-1; lo < hi; lo, hi = lo+1, hi-1 {
-		rev[lo], rev[hi] = rev[hi], rev[lo]
-	}
-	return rev, score
+	return tracePath(w, n, m, state), score
 }
 
 func (al *Aligner) alignTrivial(n, m int) (Path, float64) {

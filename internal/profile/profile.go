@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/bio"
+	"repro/internal/dp"
 	"repro/internal/submat"
 )
 
@@ -207,24 +208,113 @@ func NewAligner(sub *submat.Matrix, gap submat.Gap) *Aligner {
 	return &Aligner{Sub: sub, Gap: gap}
 }
 
-// freqs returns per-column normalised residue frequencies (excluding
-// gaps) and occupancies.
-func colFreqs(p *Profile) ([][]float64, []float64) {
-	f := make([][]float64, len(p.Cols))
-	occ := make([]float64, len(p.Cols))
-	for i := range p.Cols {
-		col := &p.Cols[i]
+// traceback states, aliased from the shared dp packing
+const (
+	sM = dp.M
+	sX = dp.X
+	sY = dp.Y
+)
+
+// pspScratch holds the flattened PSP scoring tables of one profile pair,
+// drawn from a workspace arena so repeated alignments allocate nothing:
+// fa is A's per-column residue frequencies (n×alphaLen, row-major), sb
+// is the expected score of each B column against every letter
+// (m×alphaLen), and occA/occB are the column occupancies.
+type pspScratch struct {
+	fa, sb     []float64
+	occA, occB []float64
+	alphaLen   int
+}
+
+// pspSetup fills the scratch tables: sb[j·L+x] = Σ_y fb[j][y]·S(x,y),
+// making each DP cell O(alphaLen).
+func (al *Aligner) pspSetup(w *dp.Workspace, a, b *Profile) pspScratch {
+	n, m := a.Len(), b.Len()
+	L := al.Sub.Alphabet().Len()
+	sc := pspScratch{
+		fa:       w.Floats(n * L),
+		sb:       w.Floats(m * L),
+		occA:     w.Floats(n),
+		occB:     w.Floats(m),
+		alphaLen: L,
+	}
+	for i := range a.Cols {
+		col := &a.Cols[i]
 		res := col.Residues()
-		occ[i] = col.Occupancy()
-		v := make([]float64, len(col.Counts))
-		if res > 0 {
-			for k, c := range col.Counts {
-				v[k] = c / res
+		sc.occA[i] = col.Occupancy()
+		if res == 0 {
+			continue
+		}
+		row := sc.fa[i*L : (i+1)*L]
+		for y, c := range col.Counts {
+			if c != 0 {
+				row[y] = c / res
 			}
 		}
-		f[i] = v
 	}
-	return f, occ
+	for j := range b.Cols {
+		col := &b.Cols[j]
+		res := col.Residues()
+		sc.occB[j] = col.Occupancy()
+		if res == 0 {
+			continue
+		}
+		row := sc.sb[j*L : (j+1)*L]
+		for y, c := range col.Counts {
+			if c == 0 {
+				continue
+			}
+			fy := c / res
+			for x := 0; x < L; x++ {
+				row[x] += fy * al.Sub.ScoreIdx(x, y)
+			}
+		}
+	}
+	return sc
+}
+
+// colScore is the occupancy-scaled PSP score of A column i against B
+// column j.
+func (sc *pspScratch) colScore(i, j int) float64 {
+	var s float64
+	fa := sc.fa[i*sc.alphaLen : (i+1)*sc.alphaLen]
+	sb := sc.sb[j*sc.alphaLen : (j+1)*sc.alphaLen]
+	for x, f := range fa {
+		if f != 0 {
+			s += f * sb[x]
+		}
+	}
+	// Scale by occupancies so sparse columns influence less.
+	return s * sc.occA[i] * sc.occB[j]
+}
+
+// tracePath follows the packed traceback plane from (n, m) back to the
+// origin and returns the alignment path in forward order.
+func tracePath(w *dp.Workspace, n, m int, state byte) Path {
+	rev := make(Path, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		cell := w.TB[w.At(i, j)]
+		switch state {
+		case sM:
+			rev = append(rev, OpMatch)
+			i--
+			j--
+			state = dp.TBM(cell)
+		case sX:
+			rev = append(rev, OpA)
+			i--
+			state = dp.TBX(cell)
+		default:
+			rev = append(rev, OpB)
+			j--
+			state = dp.TBY(cell)
+		}
+	}
+	for lo, hi := 0, len(rev)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		rev[lo], rev[hi] = rev[hi], rev[lo]
+	}
+	return rev
 }
 
 // Align computes the optimal path aligning profiles a and b and its
@@ -232,142 +322,83 @@ func colFreqs(p *Profile) ([][]float64, []float64) {
 func (al *Aligner) Align(a, b *Profile) (Path, float64) {
 	n, m := a.Len(), b.Len()
 	if n == 0 || m == 0 {
-		path := make(Path, 0, n+m)
-		for i := 0; i < n; i++ {
-			path = append(path, OpA)
-		}
-		for j := 0; j < m; j++ {
-			path = append(path, OpB)
-		}
-		return path, 0
+		return al.alignTrivial(n, m)
 	}
-	fa, occA := colFreqs(a)
-	fb, occB := colFreqs(b)
-	alphaLen := al.Sub.Alphabet().Len()
-
-	// Precompute expected score of each B column against every letter:
-	// sb[j][x] = Σ_y fb[j][y]·S(x,y), making each DP cell O(alphaLen).
-	sb := make([][]float64, m)
-	for j := 0; j < m; j++ {
-		v := make([]float64, alphaLen)
-		for x := 0; x < alphaLen; x++ {
-			var s float64
-			for y := 0; y < alphaLen; y++ {
-				if fb[j][y] != 0 {
-					s += fb[j][y] * al.Sub.ScoreIdx(x, y)
-				}
-			}
-			v[x] = s
-		}
-		sb[j] = v
-	}
-	colScore := func(i, j int) float64 {
-		var s float64
-		for x := 0; x < alphaLen; x++ {
-			if fa[i][x] != 0 {
-				s += fa[i][x] * sb[j][x]
-			}
-		}
-		// Scale by occupancies so sparse columns influence less.
-		return s * occA[i] * occB[j]
-	}
+	w := dp.Get(n+1, m+1)
+	defer dp.Put(w)
+	sc := al.pspSetup(w, a, b)
 	open, ext := al.Gap.Open, al.Gap.Extend
 	negInf := math.Inf(-1)
 
-	M := newMat(n+1, m+1)
-	X := newMat(n+1, m+1) // consume A column, gap in B
-	Y := newMat(n+1, m+1)
-	tbM := make([]byte, (n+1)*(m+1))
-	tbX := make([]byte, (n+1)*(m+1))
-	tbY := make([]byte, (n+1)*(m+1))
-	at := func(i, j int) int { return i*(m+1) + j }
-	const sM, sX, sY = 0, 1, 2
+	// M: columns paired; X: consume A column, gap in B; Y: the reverse.
+	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
+	cols := m + 1
 
-	M[0][0] = 0
-	X[0][0], Y[0][0] = negInf, negInf
+	M[0] = 0
+	X[0], Y[0] = negInf, negInf
 	for i := 1; i <= n; i++ {
-		M[i][0], Y[i][0] = negInf, negInf
-		X[i][0] = X0(i, X[i-1][0], open, ext, occA[i-1])
-		tbX[at(i, 0)] = sX
+		idx := i * cols
+		M[idx], Y[idx] = negInf, negInf
+		X[idx] = X0(i, X[idx-cols], open, ext, sc.occA[i-1])
+		tb[idx] = dp.PackTB(sM, sX, sM)
 	}
 	for j := 1; j <= m; j++ {
-		M[0][j], X[0][j] = negInf, negInf
-		Y[0][j] = X0(j, Y[0][j-1], open, ext, occB[j-1])
-		tbY[at(0, j)] = sY
+		M[j], X[j] = negInf, negInf
+		Y[j] = X0(j, Y[j-1], open, ext, sc.occB[j-1])
+		tb[j] = dp.PackTB(sM, sM, sY)
 	}
 
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
+		// gap in B against A column i-1: penalty scaled by how
+		// occupied the gapped-against column is
+		wA := sc.occA[i-1]
+		openA, extA := (open+ext)*wA, ext*wA
 		for j := 1; j <= m; j++ {
-			s := colScore(i-1, j-1)
-			bm, bs := byte(sM), M[i-1][j-1]
-			if X[i-1][j-1] > bs {
-				bm, bs = sX, X[i-1][j-1]
+			s := sc.colScore(i-1, j-1)
+			d := prev + j - 1
+			bm, bs := sM, M[d]
+			if X[d] > bs {
+				bm, bs = sX, X[d]
 			}
-			if Y[i-1][j-1] > bs {
-				bm, bs = sY, Y[i-1][j-1]
+			if Y[d] > bs {
+				bm, bs = sY, Y[d]
 			}
-			M[i][j] = bs + s
-			tbM[at(i, j)] = bm
+			M[row+j] = bs + s
 
-			// gap in B against A column i-1: penalty scaled by how
-			// occupied the gapped-against column is
-			wA := occA[i-1]
-			openX := M[i-1][j] - (open+ext)*wA
-			extX := X[i-1][j] - ext*wA
-			if openX >= extX {
-				X[i][j] = openX
-				tbX[at(i, j)] = sM
+			up := prev + j
+			bx := sM
+			openX := M[up] - openA
+			if extX := X[up] - extA; openX >= extX {
+				X[row+j] = openX
 			} else {
-				X[i][j] = extX
-				tbX[at(i, j)] = sX
+				X[row+j] = extX
+				bx = sX
 			}
-			wB := occB[j-1]
-			openY := M[i][j-1] - (open+ext)*wB
-			extY := Y[i][j-1] - ext*wB
-			if openY >= extY {
-				Y[i][j] = openY
-				tbY[at(i, j)] = sM
+			wB := sc.occB[j-1]
+			left := row + j - 1
+			by := sM
+			openY := M[left] - (open+ext)*wB
+			if extY := Y[left] - ext*wB; openY >= extY {
+				Y[row+j] = openY
 			} else {
-				Y[i][j] = extY
-				tbY[at(i, j)] = sY
+				Y[row+j] = extY
+				by = sY
 			}
+			tb[row+j] = dp.PackTB(bm, bx, by)
 		}
 	}
 
-	state, score := byte(sM), M[n][m]
-	if X[n][m] > score {
-		state, score = sX, X[n][m]
+	end := n*cols + m
+	state, score := sM, M[end]
+	if X[end] > score {
+		state, score = sX, X[end]
 	}
-	if Y[n][m] > score {
-		state, score = sY, Y[n][m]
+	if Y[end] > score {
+		state, score = sY, Y[end]
 	}
-	rev := make(Path, 0, n+m)
-	i, j := n, m
-	for i > 0 || j > 0 {
-		switch state {
-		case sM:
-			prev := tbM[at(i, j)]
-			rev = append(rev, OpMatch)
-			i--
-			j--
-			state = prev
-		case sX:
-			prev := tbX[at(i, j)]
-			rev = append(rev, OpA)
-			i--
-			state = prev
-		default:
-			prev := tbY[at(i, j)]
-			rev = append(rev, OpB)
-			j--
-			state = prev
-		}
-	}
-	// reverse the path
-	for lo, hi := 0, len(rev)-1; lo < hi; lo, hi = lo+1, hi-1 {
-		rev[lo], rev[hi] = rev[hi], rev[lo]
-	}
-	return rev, score
+	return tracePath(w, n, m, state), score
 }
 
 // X0 accumulates the boundary gap cost for leading gaps: first column
@@ -413,13 +444,4 @@ func Merge(a, b *Profile, path Path) (*Profile, error) {
 		}
 	}
 	return out, nil
-}
-
-func newMat(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i], backing = backing[:cols], backing[cols:]
-	}
-	return m
 }

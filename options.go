@@ -6,6 +6,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/cons"
 	"repro/internal/core"
+	"repro/internal/kmer"
 	"repro/internal/mafft"
 	"repro/internal/msa"
 )
@@ -14,7 +15,8 @@ import (
 type Option func(*settings) error
 
 type settings struct {
-	cfg core.Config
+	cfg  core.Config
+	kSet bool // WithK was given explicitly
 }
 
 func buildConfig(opts []Option) (core.Config, error) {
@@ -23,6 +25,22 @@ func buildConfig(opts []Option) (core.Config, error) {
 		if err := opt(&s); err != nil {
 			return core.Config{}, err
 		}
+	}
+	// Validate the k-mer length against the (possibly compressed)
+	// alphabet regardless of option order: k codes must fit the uint32
+	// k-mer space. Without this, WithFullAlphabet combined with a large
+	// WithK would only fail deep inside the run, on every rank at once.
+	comp := s.cfg.Compress
+	if comp == nil {
+		comp = bio.Dayhoff6
+	}
+	k := s.cfg.K
+	if k == 0 {
+		k = kmer.DefaultK
+	}
+	if _, err := kmer.NewCounter(comp, k); err != nil {
+		return core.Config{}, fmt.Errorf("samplealign: k = %d is too large for the %d-letter alphabet: %w",
+			k, comp.Len(), err)
 	}
 	return s.cfg, nil
 }
@@ -39,13 +57,16 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithK sets the k-mer length used for ranking (default 6).
+// WithK sets the k-mer length used for ranking (default 6, or 4 with
+// WithFullAlphabet). buildConfig rejects combinations whose code space
+// alphabet^k overflows, whatever order the options are given in.
 func WithK(k int) Option {
 	return func(s *settings) error {
 		if k < 1 {
 			return fmt.Errorf("samplealign: k = %d", k)
 		}
 		s.cfg.K = k
+		s.kSet = true
 		return nil
 	}
 }
@@ -82,12 +103,14 @@ func WithRandomSampling() Option {
 
 // WithFullAlphabet computes k-mers over the full 20-letter amino-acid
 // alphabet instead of the compressed Dayhoff classes; exposed for
-// ablation.
+// ablation. Unless WithK was given explicitly (in either order), k
+// defaults to 4 to keep the 20^k code space small; explicit k values
+// are validated against the alphabet in buildConfig.
 func WithFullAlphabet() Option {
 	return func(s *settings) error {
 		s.cfg.Compress = bio.Identity(bio.AminoAcids)
-		if s.cfg.K == 0 {
-			s.cfg.K = 4 // 20^6 would overflow the code space
+		if !s.kSet {
+			s.cfg.K = 4
 		}
 		return nil
 	}

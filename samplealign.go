@@ -20,6 +20,7 @@
 package samplealign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -68,11 +69,12 @@ func (r *RunReport) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sample-align-d: %d ranks, %v elapsed; buckets %v; ",
 		r.Procs, r.Elapsed.Round(time.Millisecond), r.BucketSizes)
-	var bytes int64
+	var sent, recv int64
 	for _, pr := range r.PerRank {
-		bytes += pr.BytesSent
+		sent += pr.BytesSent
+		recv += pr.BytesRecv
 	}
-	fmt.Fprintf(&b, "%d bytes exchanged", bytes)
+	fmt.Fprintf(&b, "%d bytes sent / %d bytes received", sent, recv)
 	return b.String()
 }
 
@@ -80,12 +82,21 @@ func (r *RunReport) Summary() string {
 // ranks. Sequence IDs must be unique and sequences non-empty. The result
 // rows come back in input order.
 func Align(seqs []Sequence, procs int, opts ...Option) (*Alignment, *RunReport, error) {
+	return AlignContext(context.Background(), seqs, procs, opts...)
+}
+
+// AlignContext is Align bound to a context: cancelling ctx (or passing
+// one with an expired deadline) aborts the run on every rank — blocked
+// collectives unblock, bucket aligners stop at their next merge, worker
+// goroutines drain — and the call returns the context's error
+// (context.Canceled / context.DeadlineExceeded).
+func AlignContext(ctx context.Context, seqs []Sequence, procs int, opts ...Option) (*Alignment, *RunReport, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	start := time.Now()
-	res, err := core.AlignInproc(seqs, procs, cfg)
+	res, err := core.AlignInprocContext(ctx, seqs, procs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -120,16 +131,36 @@ type TCPRankConfig struct {
 // cluster: every rank calls AlignTCP with its local slice of sequences;
 // rank 0 receives the full alignment (others get nil).
 func AlignTCP(tcpCfg TCPRankConfig, local []Sequence, opts ...Option) (*Alignment, error) {
+	return AlignTCPContext(context.Background(), tcpCfg, local, opts...)
+}
+
+// AlignTCPContext is AlignTCP bound to a context: cancelling ctx aborts
+// the mesh setup or the run in progress on this rank — the communicator
+// is closed so peer connections and reader goroutines shut down — and
+// the call returns the context's error. A hung or oversized cluster job
+// can thus be abandoned cleanly from any rank.
+func AlignTCPContext(ctx context.Context, tcpCfg TCPRankConfig, local []Sequence, opts ...Option) (*Alignment, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	comm, err := mpi.DialTCP(mpi.TCPConfig{Rank: tcpCfg.Rank, Addrs: tcpCfg.Addrs})
+	comm, err := mpi.DialTCPContext(ctx, mpi.TCPConfig{Rank: tcpCfg.Rank, Addrs: tcpCfg.Addrs})
 	if err != nil {
 		return nil, err
 	}
 	defer comm.Close()
-	aln, _, err := core.Align(comm, local, cfg)
+	// Close the communicator as soon as ctx is cancelled so blocked
+	// socket reads and peer reader goroutines unwind promptly.
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			comm.Close()
+		case <-watch:
+		}
+	}()
+	aln, _, err := core.AlignContext(ctx, comm, local, cfg)
 	return aln, err
 }
 
