@@ -11,6 +11,7 @@
 package samplealign
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kmer"
+	"repro/internal/mafft"
 	"repro/internal/mpi"
 	"repro/internal/msa"
 	"repro/internal/pairwise"
@@ -407,6 +409,63 @@ func BenchmarkAblationAlphabet(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				profiles := counter.Profiles(fixtures.fam500, 0)
 				kmer.DistanceMatrix(profiles, 0)
+			}
+		})
+	}
+}
+
+// ---- intra-rank parallelism: task-parallel guide-tree merging ----
+
+// BenchmarkProgressiveWorkers measures the wall-clock effect of running
+// the guide-tree merges on the dependency-aware scheduler: MuscleLike
+// over a 224-sequence input at increasing worker counts. Alignments are
+// asserted byte-identical across all worker counts (the parallel
+// schedule must never change the result). On a machine with >= 8 cores
+// workers=8 should run >= 1.8x faster than workers=1; on fewer cores
+// the speedup saturates at the core count.
+func BenchmarkProgressiveWorkers(b *testing.B) {
+	seqs, err := GenerateDiverseSet(224, 200, 107)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ref []byte
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var aln *msa.Alignment
+			for i := 0; i < b.N; i++ {
+				var err error
+				aln, err = msa.MuscleLike(w).Align(seqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var flat []byte
+			for _, s := range aln.Seqs {
+				flat = append(flat, s.Data...)
+				flat = append(flat, '\n')
+			}
+			if ref == nil {
+				ref = flat
+			} else if !bytes.Equal(ref, flat) {
+				b.Fatal("alignment differs across worker counts")
+			}
+		})
+	}
+}
+
+// BenchmarkMafftWorkers is the same sweep for the MAFFT-like banded
+// engine, whose merges also run on the scheduler.
+func BenchmarkMafftWorkers(b *testing.B) {
+	seqs, err := GenerateDiverseSet(96, 150, 108)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mafft.NewFFTNSI(w).Align(seqs); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -33,9 +33,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|table1|fig3|fig4|fig5|fig6|table2|comm|all")
 	quick := flag.Bool("quick", false, "reduce real-run sizes for fast smoke runs")
 	seed := flag.Int64("seed", 2008, "master RNG seed")
+	workers := flag.Int("workers", 0,
+		"shared-memory workers for real runs; 0 keeps the historical defaults (1 per distributed rank, all cores for sequential baselines)")
 	flag.Parse()
 
-	r := &runner{quick: *quick, seed: *seed}
+	r := &runner{quick: *quick, seed: *seed, workers: *workers}
 	experiments := map[string]func() error{
 		"fig1":   r.fig1,
 		"table1": r.table1,
@@ -69,10 +71,19 @@ func main() {
 }
 
 type runner struct {
-	quick bool
-	seed  int64
+	quick   bool
+	seed    int64
+	workers int // intra-rank workers for the real runs
 
 	diverse []bio.Sequence // cached Fig. 1/3/Table 1 input
+}
+
+// realConfig is the core configuration of every real (non-simulated)
+// distributed run: the paper defaults plus the -workers intra-rank
+// parallelism. Flag value 0 keeps core's historical default of one
+// worker per rank (the paper's single-CPU cluster nodes).
+func (r *runner) realConfig() core.Config {
+	return core.Config{Workers: r.workers}
 }
 
 func (r *runner) header(title string) {
@@ -191,7 +202,7 @@ func (r *runner) fig4() error {
 	fmt.Printf("%6s %12s\n", "p", "seconds")
 	for _, p := range []int{1, 2, 4, 8} {
 		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
 			return err
 		}
 		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
@@ -229,7 +240,7 @@ func (r *runner) fig5() error {
 	var t1 float64
 	for _, p := range []int{1, 2, 4, 8} {
 		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
 			return err
 		}
 		secs := time.Since(start).Seconds()
@@ -270,7 +281,7 @@ func (r *runner) fig6() error {
 	fmt.Printf("real runs (synthetic genome sample, N=%d):\n%6s %12s\n", n, "p", "seconds")
 	for _, p := range []int{1, 4, 8} {
 		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, core.Config{}); err != nil {
+		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
 			return err
 		}
 		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
@@ -322,7 +333,7 @@ func (r *runner) table2() error {
 	}
 	fmt.Printf("%-24s %10s %10s %10s\n", "METHOD", "Q (ours)", "Q (paper)", "seconds")
 	for _, m := range methods {
-		al, err := resolve(m.name)
+		al, err := r.resolve(m.name)
 		if err != nil {
 			return err
 		}
@@ -338,15 +349,15 @@ func (r *runner) table2() error {
 	return nil
 }
 
-func resolve(name string) (msa.Aligner, error) {
+func (r *runner) resolve(name string) (msa.Aligner, error) {
 	if p, ok := strings.CutPrefix(name, "sample-align-d:"); ok {
 		var procs int
 		if _, err := fmt.Sscanf(p, "%d", &procs); err != nil {
 			return nil, err
 		}
-		return &core.InprocAligner{P: procs}, nil
+		return &core.InprocAligner{P: procs, Cfg: r.realConfig()}, nil
 	}
-	return samplealign.NewAligner(name, 0)
+	return samplealign.NewAligner(name, r.workers)
 }
 
 func (r *runner) comm() error {
@@ -361,7 +372,7 @@ func (r *runner) comm() error {
 	}
 	fmt.Printf("%6s %14s %12s %14s %12s\n", "p", "bytes sent", "messages", "max bucket", "bound 2N/p")
 	for _, p := range []int{2, 4, 8} {
-		res, err := core.AlignInproc(seqs, p, core.Config{})
+		res, err := core.AlignInproc(seqs, p, r.realConfig())
 		if err != nil {
 			return err
 		}
@@ -392,11 +403,13 @@ func (r *runner) comm() error {
 	if err != nil {
 		return err
 	}
-	tuned, err := core.AlignInproc(fam, 4, core.Config{})
+	tuned, err := core.AlignInproc(fam, 4, r.realConfig())
 	if err != nil {
 		return err
 	}
-	naive, err := core.AlignInproc(fam, 4, core.Config{NoFineTune: true})
+	naiveCfg := r.realConfig()
+	naiveCfg.NoFineTune = true
+	naive, err := core.AlignInproc(fam, 4, naiveCfg)
 	if err != nil {
 		return err
 	}

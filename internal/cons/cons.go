@@ -296,37 +296,31 @@ type group struct {
 }
 
 // progressive merges groups up the guide tree, scoring columns by
-// average library support.
+// average library support. The merges run as a parallel post-order
+// schedule (tree.ParallelReduce): disjoint subtrees merge concurrently
+// on Workers workers against the read-only library; output is
+// byte-identical for every Workers value.
 func (a *Aligner) progressive(ctx context.Context, seqs [][]byte, gt *tree.Node, lib *library) ([][]byte, []int, error) {
-	var build func(n *tree.Node) (*group, error)
-	build = func(n *tree.Node) (*group, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	leaf := func(n *tree.Node) (*group, error) {
+		if n.ID < 0 || n.ID >= len(seqs) {
+			return nil, fmt.Errorf("cons: leaf id %d out of range", n.ID)
 		}
-		if n.IsLeaf() {
-			if n.ID < 0 || n.ID >= len(seqs) {
-				return nil, fmt.Errorf("cons: leaf id %d out of range", n.ID)
-			}
-			row := seqs[n.ID]
-			ords := make([]int32, len(row))
-			for i := range ords {
-				ords[i] = int32(i)
-			}
-			return &group{ids: []int{n.ID}, rows: [][]byte{row}, ords: [][]int32{ords}}, nil
+		row := seqs[n.ID]
+		ords := make([]int32, len(row))
+		for i := range ords {
+			ords[i] = int32(i)
 		}
-		l, err := build(n.Left)
-		if err != nil {
-			return nil, err
-		}
-		r, err := build(n.Right)
-		if err != nil {
-			return nil, err
-		}
+		return &group{ids: []int{n.ID}, rows: [][]byte{row}, ords: [][]int32{ords}}, nil
+	}
+	merge := func(l, r *group) (*group, error) {
 		return a.mergeGroups(l, r, lib), nil
 	}
-	g, err := build(gt)
+	g, err := tree.ParallelReduce(ctx, gt, a.opts.Workers, leaf, merge)
 	if err != nil {
 		return nil, nil, err
+	}
+	if g == nil {
+		return nil, nil, fmt.Errorf("cons: empty guide tree")
 	}
 	return g.rows, g.ids, nil
 }

@@ -163,3 +163,25 @@ func TestConsQualityOnModerateFamily(t *testing.T) {
 		t.Fatalf("Q = %g on a moderate family", q)
 	}
 }
+
+// TestConsWorkersDeterminism pins the guarantee of the task-parallel
+// consistency merge: the alignment is byte-identical for every Workers
+// value (the library is read-only during the progressive stage).
+func TestConsWorkersDeterminism(t *testing.T) {
+	seqs := famSeqs(t, 14, 60, 300, 6)
+	ref, err := New(1).Align(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := New(w).Align(seqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range ref.Seqs {
+			if !bytes.Equal(got.Seqs[i].Data, ref.Seqs[i].Data) {
+				t.Fatalf("workers=%d row %d differs from workers=1", w, i)
+			}
+		}
+	}
+}

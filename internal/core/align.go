@@ -30,7 +30,7 @@ func AlignContext(ctx context.Context, c mpi.Comm, local []bio.Sequence, cfg Con
 	for i := range origs {
 		origs[i] = int64(c.Rank())<<40 | int64(i)
 	}
-	return alignTagged(ctx, c, local, origs, cfg)
+	return alignTagged(ctx, c, local, origs, cfg, false)
 }
 
 // ctxErr prefers the context's error over err once the context is done,
@@ -45,8 +45,10 @@ func ctxErr(ctx context.Context, err error) error {
 
 // alignTagged is Align with explicit per-sequence global ordering keys
 // (the inproc driver passes original input indices so the final
-// alignment comes back in input order).
-func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config) (*msa.Alignment, *Stats, error) {
+// alignment comes back in input order). idsVerified marks worlds whose
+// driver already proved sequence-ID uniqueness across all ranks, so the
+// cluster-wide check (and its communication) can be skipped.
+func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []int64, cfg Config, idsVerified bool) (*msa.Alignment, *Stats, error) {
 	if len(origs) != len(local) {
 		return nil, nil, fmt.Errorf("core: %d origin keys for %d sequences", len(origs), len(local))
 	}
@@ -67,6 +69,19 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 		seqs[i] = wireSeq{ID: s.ID, Desc: s.Desc, Data: bio.Ungap(s.Data), Orig: origs[i]}
 		if len(seqs[i].Data) == 0 {
 			return nil, nil, fmt.Errorf("core: sequence %q is empty", s.ID)
+		}
+	}
+
+	// Sequence IDs must be unique across the whole cluster: the glue
+	// phase keys rows by ID (origMap), so a collision would silently
+	// drop or misorder a row in the final alignment. Every rank takes
+	// part in the check and fails with the same error. Skipped when the
+	// driver already verified the whole input (inproc), and done without
+	// communication on single-rank worlds, so the collective's bytes
+	// never distort the communication stats of the paper's benchmarks.
+	if !idsVerified {
+		if err := checkClusterIDs(c, seqs); err != nil {
+			return nil, nil, ctxErr(ctx, err)
 		}
 	}
 
@@ -154,6 +169,47 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	return final, stats, nil
 }
 
+// checkClusterIDs verifies sequence-ID uniqueness across every rank of
+// the world: the root gathers all ID lists, finds the first collision,
+// and broadcasts the verdict so every rank unwinds with the same error
+// naming the duplicated ID. The SPMD/TCP path has no central entry
+// point — this collective is its only cluster-wide guard. Single-rank
+// worlds check locally without touching the communicator.
+func checkClusterIDs(c mpi.Comm, seqs []wireSeq) error {
+	ids := make([]string, len(seqs))
+	for i := range seqs {
+		ids[i] = seqs[i].ID
+	}
+	if c.Size() == 1 {
+		return duplicateIDError(ids)
+	}
+	gathered, err := mpi.GatherValues(c, 0, tagIDCheck, ids)
+	if err != nil {
+		return err
+	}
+	var verdict string
+	if c.Rank() == 0 {
+		seen := make(map[string]int)
+	scan:
+		for r, part := range gathered {
+			for _, id := range part {
+				if prev, ok := seen[id]; ok {
+					verdict = fmt.Sprintf("duplicate sequence id %q (on rank %d and rank %d); ids must be unique cluster-wide", id, prev, r)
+					break scan
+				}
+				seen[id] = r
+			}
+		}
+	}
+	if err := mpi.BcastValue(c, 0, tagIDCheck, verdict, &verdict); err != nil {
+		return err
+	}
+	if verdict != "" {
+		return fmt.Errorf("core: %s", verdict)
+	}
+	return nil
+}
+
 // redistribute performs the sampling, pivoting and all-to-all exchange
 // phases, returning this rank's bucket. The communicator is already
 // context-bound by the caller; ctx is checked between compute phases.
@@ -214,16 +270,16 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	sortByRank(seqs)
 	stats.Timings.Sampling = time.Since(tPhase)
 
-	// --- phase 3: regular sampling of p-1 rank values, pivot selection
+	// --- phase 3: regular sampling of p-1 rank keys, pivot selection
 	tPhase = time.Now()
-	sampleRanks := regularRankSample(seqs, p-1)
-	gathered, err := mpi.GatherValues(c, 0, tagPivotGather, sampleRanks)
+	sampleKeys := regularRankSample(seqs, p-1)
+	gathered, err := mpi.GatherValues(c, 0, tagPivotGather, sampleKeys)
 	if err != nil {
 		return nil, err
 	}
-	var pivots []float64
+	var pivots []pivotKey
 	if rank == 0 {
-		var all []float64
+		var all []pivotKey
 		for _, part := range gathered {
 			all = append(all, part...)
 		}
@@ -238,7 +294,8 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	tPhase = time.Now()
 	parts := make([][]wireSeq, p)
 	for _, ws := range seqs {
-		b := sort.SearchFloat64s(pivots, ws.Rank)
+		key := pivotKey{Rank: ws.Rank, Orig: ws.Orig}
+		b := sort.Search(len(pivots), func(i int) bool { return !pivots[i].less(key) })
 		parts[b] = append(parts[b], ws)
 	}
 	got, err := mpi.AllToAllValues(c, tagRedist, parts)
@@ -310,29 +367,56 @@ func pickSamples(seqs []wireSeq, k int, strategy SamplingStrategy, rank int) []w
 	return out
 }
 
-// regularRankSample picks k evenly spaced rank values from the locally
+// pivotKey is the total order sequences are partitioned by during
+// redistribution: primarily the globalised k-mer rank, tie-broken by the
+// global ordering key. Rank alone is not a usable partition key — on
+// datasets with repeated or near-identical sequences many share one rank
+// value, and rank-only pivots then funnel every tied sequence into a
+// single bucket, breaking the paper's 2N/p load bound. Orig values are
+// unique cluster-wide, so pivotKeys never collide and ties split evenly.
+type pivotKey struct {
+	Rank float64
+	Orig int64
+}
+
+func (k pivotKey) less(o pivotKey) bool {
+	if k.Rank != o.Rank {
+		return k.Rank < o.Rank
+	}
+	return k.Orig < o.Orig
+}
+
+// regularRankSample picks k evenly spaced rank keys from the locally
 // sorted list (the paper's p−1 regular samples).
-func regularRankSample(seqs []wireSeq, k int) []float64 {
+func regularRankSample(seqs []wireSeq, k int) []pivotKey {
 	if len(seqs) == 0 || k <= 0 {
 		return nil
 	}
-	out := make([]float64, 0, k)
+	out := make([]pivotKey, 0, k)
 	for i := 0; i < k; i++ {
 		idx := (i + 1) * len(seqs) / (k + 1)
 		if idx >= len(seqs) {
 			idx = len(seqs) - 1
 		}
-		out = append(out, seqs[idx].Rank)
+		out = append(out, pivotKey{Rank: seqs[idx].Rank, Orig: seqs[idx].Orig})
 	}
 	return out
 }
 
 // selectPivots sorts the gathered regular samples and picks the paper's
 // p−1 pivots Y_{p/2}, Y_{p+p/2}, …, Y_{(p−2)p+p/2}, scaled to however
-// many samples actually arrived.
-func selectPivots(all []float64, p int) []float64 {
-	sort.Float64s(all)
-	pivots := make([]float64, 0, p-1)
+// many samples actually arrived. Duplicate pivots (possible only when a
+// clamped degenerate schedule picks one sample twice) are dropped —
+// they could only ever delimit guaranteed-empty buckets.
+func selectPivots(all []pivotKey, p int) []pivotKey {
+	sort.Slice(all, func(i, j int) bool { return all[i].less(all[j]) })
+	pivots := make([]pivotKey, 0, p-1)
+	appendPivot := func(k pivotKey) {
+		if n := len(pivots); n > 0 && !pivots[n-1].less(k) {
+			return // duplicate of the previous pivot
+		}
+		pivots = append(pivots, k)
+	}
 	if len(all) == 0 {
 		return pivots
 	}
@@ -343,7 +427,7 @@ func selectPivots(all []float64, p int) []float64 {
 			if idx >= len(all) {
 				idx = len(all) - 1
 			}
-			pivots = append(pivots, all[idx])
+			appendPivot(all[idx])
 		}
 		return pivots
 	}
@@ -353,7 +437,7 @@ func selectPivots(all []float64, p int) []float64 {
 		if idx >= len(all) {
 			idx = len(all) - 1
 		}
-		pivots = append(pivots, all[idx])
+		appendPivot(all[idx])
 	}
 	return pivots
 }

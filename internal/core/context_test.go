@@ -96,7 +96,7 @@ func TestAlignInprocContextAllRanksReportCancel(t *testing.T) {
 	var mu sync.Mutex
 	rankErrs := make(map[int]error)
 	_ = mpi.RunContext(ctx, 3, func(c mpi.Comm) error {
-		_, _, err := alignTagged(ctx, c, parts[c.Rank()], origs[c.Rank()], cfg)
+		_, _, err := alignTagged(ctx, c, parts[c.Rank()], origs[c.Rank()], cfg, true)
 		mu.Lock()
 		rankErrs[c.Rank()] = err
 		mu.Unlock()

@@ -148,6 +148,7 @@ const (
 	tagGluePath
 	tagGlueRows
 	tagBarrier
+	tagIDCheck
 )
 
 // wireSeq is the on-the-wire form of a sequence plus its provenance, so

@@ -307,20 +307,49 @@ func TestSplitBlocks(t *testing.T) {
 	}
 }
 
+func pivotKeys(ranks ...float64) []pivotKey {
+	out := make([]pivotKey, len(ranks))
+	for i, r := range ranks {
+		out[i] = pivotKey{Rank: r, Orig: int64(i)}
+	}
+	return out
+}
+
 func TestSelectPivots(t *testing.T) {
 	// exact paper schedule for p=4: 12 samples, pivots at indices 2, 6, 10
-	all := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	all := pivotKeys(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
 	pivots := selectPivots(all, 4)
 	if len(pivots) != 3 {
 		t.Fatalf("%d pivots", len(pivots))
 	}
-	if pivots[0] != 2 || pivots[1] != 6 || pivots[2] != 10 {
+	if pivots[0].Rank != 2 || pivots[1].Rank != 6 || pivots[2].Rank != 10 {
 		t.Fatalf("pivots = %v", pivots)
 	}
 	// degenerate sample count falls back to quantiles but keeps p-1 pivots
-	short := selectPivots([]float64{1, 2, 3}, 4)
+	short := selectPivots(pivotKeys(1, 2, 3), 4)
 	if len(short) != 3 {
 		t.Fatalf("degenerate pivots = %v", short)
+	}
+}
+
+func TestSelectPivotsTiedRanks(t *testing.T) {
+	// All samples share one rank value: orig tie-breaking must still
+	// yield distinct pivots that split the tied mass across buckets.
+	all := pivotKeys(1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	pivots := selectPivots(all, 4)
+	if len(pivots) != 3 {
+		t.Fatalf("%d pivots for tied ranks", len(pivots))
+	}
+	for i := 1; i < len(pivots); i++ {
+		if !pivots[i-1].less(pivots[i]) {
+			t.Fatalf("pivots not strictly increasing: %v", pivots)
+		}
+	}
+	// A degenerate schedule that clamps onto one sample must collapse
+	// the duplicates instead of emitting guaranteed-empty buckets.
+	one := selectPivots([]pivotKey{{Rank: 1, Orig: 7}}, 4)
+	if len(one) != 1 {
+		t.Fatalf("duplicate pivots not collapsed: %v", one)
 	}
 }
 

@@ -40,7 +40,9 @@ func AlignInprocContext(ctx context.Context, seqs []bio.Sequence, p int, cfg Con
 	res := &Result{Stats: make([]*Stats, p)}
 	var mu sync.Mutex
 	err := mpi.RunContext(ctx, p, func(c mpi.Comm) error {
-		aln, stats, err := alignTagged(ctx, c, parts[c.Rank()], origParts[c.Rank()], cfg)
+		// checkUniqueIDs above already covered the whole input, so the
+		// ranks skip the cluster-wide ID collective.
+		aln, stats, err := alignTagged(ctx, c, parts[c.Rank()], origParts[c.Rank()], cfg, true)
 		if err != nil {
 			return err
 		}
@@ -78,12 +80,23 @@ func SplitBlocks(seqs []bio.Sequence, p int) ([][]bio.Sequence, [][]int64) {
 }
 
 func checkUniqueIDs(seqs []bio.Sequence) error {
-	seen := make(map[string]bool, len(seqs))
-	for _, s := range seqs {
-		if seen[s.ID] {
-			return fmt.Errorf("core: duplicate sequence id %q (ids must be unique)", s.ID)
+	ids := make([]string, len(seqs))
+	for i := range seqs {
+		ids[i] = seqs[i].ID
+	}
+	return duplicateIDError(ids)
+}
+
+// duplicateIDError returns an error naming the first ID occurring twice
+// in ids, or nil. The empty ID counts like any other (bare FASTA '>'
+// headers parse to ID "", and two of those still collide in origMap).
+func duplicateIDError(ids []string) error {
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("core: duplicate sequence id %q (ids must be unique)", id)
 		}
-		seen[s.ID] = true
+		seen[id] = true
 	}
 	return nil
 }

@@ -52,7 +52,7 @@ func TestAlignSurvivesInjectedSendFault(t *testing.T) {
 				faulty.Comm = c
 				comm = faulty
 			}
-			aln, _, err := alignTagged(context.Background(), comm, parts[c.Rank()], origs[c.Rank()], Config{})
+			aln, _, err := alignTagged(context.Background(), comm, parts[c.Rank()], origs[c.Rank()], Config{}, true)
 			if err != nil {
 				mu.Lock()
 				anyErr = err

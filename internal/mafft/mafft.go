@@ -132,29 +132,20 @@ type group struct {
 	ids  []int
 }
 
+// alignWithTree runs the guide-tree merges as a parallel post-order
+// schedule (tree.ParallelReduce): disjoint subtrees merge concurrently
+// on Workers workers; output is byte-identical for every Workers value.
 func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tree.Node) (*msa.Alignment, error) {
 	alpha := a.opts.Sub.Alphabet()
 	palign := profile.NewAligner(a.opts.Sub, a.opts.Gap)
 
-	var build func(n *tree.Node) (*group, error)
-	build = func(n *tree.Node) (*group, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	leaf := func(n *tree.Node) (*group, error) {
+		if n.ID < 0 || n.ID >= len(seqs) {
+			return nil, fmt.Errorf("mafft: leaf id %d out of range", n.ID)
 		}
-		if n.IsLeaf() {
-			if n.ID < 0 || n.ID >= len(seqs) {
-				return nil, fmt.Errorf("mafft: leaf id %d out of range", n.ID)
-			}
-			return &group{rows: [][]byte{bio.Ungap(seqs[n.ID].Data)}, ids: []int{n.ID}}, nil
-		}
-		left, err := build(n.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := build(n.Right)
-		if err != nil {
-			return nil, err
-		}
+		return &group{rows: [][]byte{bio.Ungap(seqs[n.ID].Data)}, ids: []int{n.ID}}, nil
+	}
+	merge := func(left, right *group) (*group, error) {
 		pl, err := profile.FromRows(alpha, left.rows, nil)
 		if err != nil {
 			return nil, err
@@ -174,11 +165,18 @@ func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tr
 			path, _ = palign.Align(pl, pr)
 		}
 		merged := profile.MergeRows(left.rows, right.rows, path)
-		return &group{rows: merged, ids: append(left.ids, right.ids...)}, nil
+		// Fresh id slice: appending to left.ids would alias its backing
+		// array, a data race between concurrent sibling merges.
+		ids := make([]int, 0, len(left.ids)+len(right.ids))
+		ids = append(append(ids, left.ids...), right.ids...)
+		return &group{rows: merged, ids: ids}, nil
 	}
-	g, err := build(gt)
+	g, err := tree.ParallelReduce(ctx, gt, a.opts.Workers, leaf, merge)
 	if err != nil {
 		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("mafft: empty guide tree")
 	}
 	aln := &msa.Alignment{Seqs: make([]bio.Sequence, len(seqs))}
 	for k, idx := range g.ids {

@@ -135,3 +135,38 @@ func TestNamesDistinct(t *testing.T) {
 		t.Fatal("variant names collide")
 	}
 }
+
+// TestWorkersDeterminism pins the guarantee of the task-parallel
+// guide-tree merge: both MAFFT-like variants produce byte-identical
+// alignments for every Workers value.
+func TestWorkersDeterminism(t *testing.T) {
+	seqs := famSeqs(t, 24, 80, 300, 9)
+	for _, variant := range []struct {
+		name  string
+		build func(workers int) *Aligner
+	}{
+		{"nwnsi", NewNWNSI},
+		{"fftnsi", NewFFTNSI},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			ref, err := variant.build(1).Align(seqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{4, 8} {
+				got, err := variant.build(w).Align(seqs)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got.NumSeqs() != ref.NumSeqs() {
+					t.Fatalf("workers=%d: %d rows", w, got.NumSeqs())
+				}
+				for i := range ref.Seqs {
+					if !bytes.Equal(got.Seqs[i].Data, ref.Seqs[i].Data) {
+						t.Fatalf("workers=%d row %d differs from workers=1", w, i)
+					}
+				}
+			}
+		})
+	}
+}

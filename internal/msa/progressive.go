@@ -245,8 +245,12 @@ func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights 
 	return p.AlignWithTreeContext(context.Background(), seqs, gt, weights)
 }
 
-// AlignWithTreeContext is AlignWithTree bound to a context, checked
-// before every profile merge (the unit of work that dominates cost).
+// AlignWithTreeContext is AlignWithTree bound to a context. The merge
+// recursion runs as a parallel post-order schedule on a task DAG
+// (tree.ParallelReduce): disjoint subtrees merge concurrently on
+// Workers workers, each merge borrowing its own pooled DP workspace.
+// Output is byte-identical for every Workers value — a node's merge
+// depends only on its children, never on execution order.
 func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
 	alpha := p.opts.Sub.Alphabet()
 	palign := profile.NewAligner(p.opts.Sub, p.opts.Gap)
@@ -258,26 +262,14 @@ func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Seque
 		return weights[idx]
 	}
 
-	var build func(n *tree.Node) (*group, error)
-	build = func(n *tree.Node) (*group, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	leaf := func(n *tree.Node) (*group, error) {
+		if n.ID < 0 || n.ID >= len(seqs) {
+			return nil, fmt.Errorf("msa: guide tree leaf id %d out of range", n.ID)
 		}
-		if n.IsLeaf() {
-			if n.ID < 0 || n.ID >= len(seqs) {
-				return nil, fmt.Errorf("msa: guide tree leaf id %d out of range", n.ID)
-			}
-			data := bio.Ungap(seqs[n.ID].Data)
-			return &group{rows: [][]byte{data}, ids: []int{n.ID}}, nil
-		}
-		left, err := build(n.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := build(n.Right)
-		if err != nil {
-			return nil, err
-		}
+		data := bio.Ungap(seqs[n.ID].Data)
+		return &group{rows: [][]byte{data}, ids: []int{n.ID}}, nil
+	}
+	merge := func(left, right *group) (*group, error) {
 		wl := make([]float64, len(left.ids))
 		for i, id := range left.ids {
 			wl[i] = weightOf(id)
@@ -296,12 +288,21 @@ func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Seque
 		}
 		path, _ := palign.Align(pl, pr)
 		merged := profile.MergeRows(left.rows, right.rows, path)
-		return &group{rows: merged, ids: append(left.ids, right.ids...)}, nil
+		// The merged id slice must never alias left.ids: sibling merges
+		// run concurrently, and appending into a shared backing array
+		// is a data race (and silently corrupts ids even sequentially
+		// when a node is reused across merges).
+		ids := make([]int, 0, len(left.ids)+len(right.ids))
+		ids = append(append(ids, left.ids...), right.ids...)
+		return &group{rows: merged, ids: ids}, nil
 	}
 
-	g, err := build(gt)
+	g, err := tree.ParallelReduce(ctx, gt, p.opts.Workers, leaf, merge)
 	if err != nil {
 		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("msa: empty guide tree")
 	}
 	// Restore input order.
 	aln := &Alignment{Seqs: make([]bio.Sequence, len(seqs))}

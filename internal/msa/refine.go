@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/bio"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/tree"
 )
@@ -20,8 +21,17 @@ func (p *Progressive) RefineAlignment(aln *Alignment, gt *tree.Node, rounds int)
 }
 
 // RefineAlignmentContext is RefineAlignment bound to a context, checked
-// before every split realignment. On cancellation it returns the best
-// alignment found so far together with the context's error.
+// before every chunk of split realignments. On cancellation it returns
+// the best alignment found so far together with the context's error.
+//
+// Candidate splits are realigned and scored in parallel, speculatively:
+// a chunk of Workers consecutive splits is evaluated against the current
+// alignment, then scanned in split order; the first improving candidate
+// is accepted and the rest of the chunk — now computed against a stale
+// base — is discarded and re-evaluated. Acceptance decisions therefore
+// follow exactly the sequential greedy order, so the result is
+// byte-identical for every Workers value (including 1), while the common
+// no-improvement stretches evaluate at full parallel width.
 func (p *Progressive) RefineAlignmentContext(ctx context.Context, aln *Alignment, gt *tree.Node, rounds int) (*Alignment, error) {
 	if aln.NumSeqs() < 3 || rounds <= 0 {
 		return aln, ctx.Err()
@@ -39,21 +49,53 @@ func (p *Progressive) RefineAlignmentContext(ctx context.Context, aln *Alignment
 		splits = append(splits, leaves)
 	})
 
+	workers := p.opts.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	type candidate struct {
+		aln   *Alignment
+		score float64
+		err   error
+	}
 	current := aln
-	currentScore := p.refineScore(current)
+	currentScore := p.refineScore(current, workers)
 	for round := 0; round < rounds; round++ {
 		improved := false
-		for _, split := range splits {
-			if err := ctx.Err(); err != nil {
+		for k := 0; k < len(splits); {
+			end := k + workers
+			if end > len(splits) {
+				end = len(splits)
+			}
+			cands, err := par.MapCtx(ctx, end-k, workers, func(i int) candidate {
+				c, err := p.realignSplit(current, splits[k+i])
+				if err != nil {
+					return candidate{err: err}
+				}
+				// Score serially inside the already-parallel map: SPScore
+				// is order-deterministic for any worker count, and nesting
+				// would oversubscribe Workers² goroutines on Workers cores.
+				return candidate{aln: c, score: p.refineScore(c, 1)}
+			})
+			if err != nil {
 				return current, err
 			}
-			candidate, err := p.realignSplit(current, split)
-			if err != nil {
-				continue
+			accepted := false
+			for i, c := range cands {
+				if c.err != nil {
+					continue // a failed realignment is skipped, as before
+				}
+				if c.score > currentScore {
+					current, currentScore = c.aln, c.score
+					improved, accepted = true, true
+					// Later chunk entries were evaluated against the old
+					// base; resume right after the accepted split.
+					k += i + 1
+					break
+				}
 			}
-			if score := p.refineScore(candidate); score > currentScore {
-				current, currentScore = candidate, score
-				improved = true
+			if !accepted {
+				k = end
 			}
 		}
 		if !improved {
@@ -65,13 +107,19 @@ func (p *Progressive) RefineAlignmentContext(ctx context.Context, aln *Alignment
 
 // refineScore is the objective used to accept refinement steps: exact SP
 // for small alignments, sampled SP for large ones (deterministic seed so
-// refinement is reproducible).
-func (p *Progressive) refineScore(a *Alignment) float64 {
+// refinement is reproducible). The value is identical for any workers
+// count; workers only bounds the SP computation's own parallelism.
+func (p *Progressive) refineScore(a *Alignment, workers int) float64 {
 	const exactLimit = 60
-	if a.NumSeqs() <= exactLimit {
-		return SPScore(a, p.opts.Sub, p.opts.Gap, p.opts.Workers)
+	const samplePairs = 2000
+	n := a.NumSeqs()
+	// Take the exact branch whenever SPScoreSampled would fall back to
+	// exact anyway (pair count below the sample budget), so the workers
+	// bound is honored on that path too.
+	if n <= exactLimit || n*(n-1)/2 <= samplePairs {
+		return SPScore(a, p.opts.Sub, p.opts.Gap, workers)
 	}
-	return SPScoreSampled(a, p.opts.Sub, p.opts.Gap, 2000, 1)
+	return SPScoreSampled(a, p.opts.Sub, p.opts.Gap, samplePairs, 1)
 }
 
 // realignSplit extracts the rows in `split` (by sequence index order of

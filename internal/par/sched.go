@@ -1,0 +1,208 @@
+package par
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TaskID identifies a task registered with a Sched. IDs are handed out
+// sequentially by Add, so a task can only depend on tasks registered
+// before it — which makes every Sched acyclic by construction.
+type TaskID int
+
+// Sched runs a DAG of tasks over a bounded worker pool: a task becomes
+// runnable once all of its dependencies have finished, and independent
+// runnable tasks execute concurrently. The post-order profile merges of
+// progressive alignment are the motivating shape (disjoint guide-tree
+// subtrees merge in parallel), but the scheduler is general: any
+// register-then-run DAG works, including flat fan-outs (tasks with no
+// dependencies).
+//
+// Usage: register every task with Add (dependencies must be TaskIDs
+// returned by earlier Add calls), then call Run once. Task bodies
+// communicate results through memory they close over; the scheduler
+// guarantees a happens-before edge from each dependency's completion to
+// its dependents' start, so no extra synchronisation is needed for
+// dep-to-dependent hand-offs.
+type Sched struct {
+	tasks []schedTask
+	ran   bool
+}
+
+type schedTask struct {
+	fn   func() error
+	deps []TaskID
+}
+
+// NewSched returns an empty scheduler.
+func NewSched() *Sched { return &Sched{} }
+
+// Add registers a task that runs after all deps have completed and
+// returns its TaskID. Deps must have been returned by earlier Add calls
+// on the same Sched; anything else panics (a programming error, like an
+// out-of-range slice index).
+func (s *Sched) Add(fn func() error, deps ...TaskID) TaskID {
+	id := TaskID(len(s.tasks))
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("par: task %d depends on invalid task %d", id, d))
+		}
+	}
+	s.tasks = append(s.tasks, schedTask{fn: fn, deps: deps})
+	return id
+}
+
+// Len returns the number of registered tasks.
+func (s *Sched) Len() int { return len(s.tasks) }
+
+// Run executes the DAG on `workers` workers (<= 0 selects
+// DefaultWorkers) and blocks until every task has finished, a task
+// returns an error, or ctx is cancelled. The first task error is
+// returned and no new tasks start after it (already-running tasks finish
+// first); dependents of a failed task never run. On cancellation Run
+// stops dispatching and returns ctx.Err() — like ForCtx, a cancelled
+// context is reported even when every task happened to finish first.
+// Run may be called once.
+//
+// With workers == 1 the DAG runs inline on the calling goroutine in
+// deterministic topological (registration) order.
+func (s *Sched) Run(ctx context.Context, workers int) error {
+	if s.ran {
+		return fmt.Errorf("par: Sched.Run called twice")
+	}
+	s.ran = true
+	n := len(s.tasks)
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	waits := make([]int32, n)
+	dependents := make([][]int, n)
+	for i, t := range s.tasks {
+		waits[i] = int32(len(t.deps))
+		for _, d := range t.deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	if workers == 1 {
+		return s.runSerial(ctx, waits, dependents)
+	}
+
+	// Deps only point backwards, so the DAG always drains: `ready` never
+	// needs more capacity than n and sends below never block.
+	ready := make(chan int, n)
+	for i := range s.tasks {
+		if waits[i] == 0 {
+			ready <- i
+		}
+	}
+	var (
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		mu       sync.Mutex
+		firstErr error
+		pending  = int64(n)
+		wg       sync.WaitGroup
+	)
+	halt := func(err error) {
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		stopOnce.Do(func() { close(stop) })
+	}
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-done:
+					halt(nil) // Run reports ctx.Err()
+					return
+				case i := <-ready:
+					// Prefer stopping over starting yet another task when
+					// both channels are readable.
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.tasks[i].fn(); err != nil {
+						halt(err)
+						return
+					}
+					for _, d := range dependents[i] {
+						if atomic.AddInt32(&waits[d], -1) == 0 {
+							ready <- d
+						}
+					}
+					if atomic.AddInt64(&pending, -1) == 0 {
+						halt(nil)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// runSerial drains the DAG inline: FIFO over the ready queue, which for
+// backward-only dependencies is a topological order of the registration
+// sequence.
+func (s *Sched) runSerial(ctx context.Context, waits []int32, dependents [][]int) error {
+	n := len(s.tasks)
+	ready := make([]int, 0, n)
+	for i := range s.tasks {
+		if waits[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	done := ctx.Done()
+	for k := 0; k < len(ready); k++ {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		i := ready[k]
+		if err := s.tasks[i].fn(); err != nil {
+			return err
+		}
+		for _, d := range dependents[i] {
+			waits[d]--
+			if waits[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(ready) != n {
+		return fmt.Errorf("par: sched finished with %d of %d tasks unreachable", n-len(ready), n)
+	}
+	return ctx.Err()
+}

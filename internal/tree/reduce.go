@@ -1,0 +1,67 @@
+package tree
+
+import (
+	"context"
+
+	"repro/internal/par"
+)
+
+// ParallelReduce performs a post-order reduction over a binary tree on a
+// dependency-aware task scheduler (par.Sched): every leaf is mapped with
+// leaf, every internal node combines its children's values with merge,
+// and nodes whose subtrees are disjoint run concurrently. This is the
+// execution shape of progressive alignment — the strictly sequential
+// recursion over the guide tree becomes a DAG whose width is the number
+// of independent subtrees at each level.
+//
+// The result is identical for every workers value: each node's value
+// depends only on its children's values, never on execution order.
+// workers <= 0 selects par.DefaultWorkers(); workers == 1 reduces inline
+// with no goroutines. On a task error or context cancellation the
+// reduction stops (in-flight nodes finish) and the error is returned.
+func ParallelReduce[T any](ctx context.Context, root *Node, workers int,
+	leaf func(*Node) (T, error), merge func(left, right T) (T, error)) (T, error) {
+	var zero T
+	if root == nil {
+		return zero, ctx.Err()
+	}
+	s := par.NewSched()
+	var reg func(n *Node) (par.TaskID, *T)
+	reg = func(n *Node) (par.TaskID, *T) {
+		out := new(T)
+		if n.IsLeaf() {
+			id := s.Add(func() error {
+				v, err := leaf(n)
+				if err != nil {
+					return err
+				}
+				*out = v
+				return nil
+			})
+			return id, out
+		}
+		lid, lv := reg(n.Left)
+		rid, rv := reg(n.Right)
+		id := s.Add(func() error {
+			v, err := merge(*lv, *rv)
+			if err != nil {
+				return err
+			}
+			// Release the child results: each node has exactly one
+			// parent, so they are dead after this merge. Without this
+			// every intermediate subtree value stays reachable through
+			// the scheduler's task closures until Run returns, inflating
+			// peak memory by a factor of the tree depth.
+			var zero T
+			*lv, *rv = zero, zero
+			*out = v
+			return nil
+		}, lid, rid)
+		return id, out
+	}
+	_, rootVal := reg(root)
+	if err := s.Run(ctx, workers); err != nil {
+		return zero, err
+	}
+	return *rootVal, nil
+}

@@ -1,0 +1,89 @@
+package tree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kmer"
+)
+
+func randomTree(t *testing.T, n int, seed int64) *Node {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := kmer.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	return UPGMA(m, nil)
+}
+
+func TestParallelReduceCountsLeaves(t *testing.T) {
+	root := randomTree(t, 97, 7)
+	leaf := func(n *Node) (int, error) { return 1, nil }
+	merge := func(l, r int) (int, error) { return l + r, nil }
+	for _, workers := range []int{1, 2, 8} {
+		got, err := ParallelReduce(context.Background(), root, workers, leaf, merge)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != root.LeafCount() {
+			t.Fatalf("workers=%d: counted %d leaves, want %d", workers, got, root.LeafCount())
+		}
+	}
+}
+
+func TestParallelReduceDeterministicOrder(t *testing.T) {
+	// The reduced value of a non-commutative merge (string of the leaf
+	// order) must not depend on the worker count.
+	root := randomTree(t, 41, 11)
+	leaf := func(n *Node) (string, error) { return fmt.Sprintf("%d", n.ID), nil }
+	merge := func(l, r string) (string, error) { return "(" + l + "," + r + ")", nil }
+	ref, err := ParallelReduce(context.Background(), root, 1, leaf, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ParallelReduce(context.Background(), root, workers, leaf, merge)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: shape %s != serial %s", workers, got, ref)
+		}
+	}
+}
+
+func TestParallelReduceLeafError(t *testing.T) {
+	root := randomTree(t, 16, 3)
+	boom := errors.New("bad leaf")
+	leaf := func(n *Node) (int, error) {
+		if n.ID == 5 {
+			return 0, boom
+		}
+		return 1, nil
+	}
+	merge := func(l, r int) (int, error) { return l + r, nil }
+	for _, workers := range []int{1, 4} {
+		if _, err := ParallelReduce(context.Background(), root, workers, leaf, merge); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want bad leaf", workers, err)
+		}
+	}
+}
+
+func TestParallelReduceNilAndSingle(t *testing.T) {
+	leaf := func(n *Node) (int, error) { return n.ID, nil }
+	merge := func(l, r int) (int, error) { return l + r, nil }
+	got, err := ParallelReduce(context.Background(), nil, 4, leaf, merge)
+	if err != nil || got != 0 {
+		t.Fatalf("nil root: %d, %v", got, err)
+	}
+	got, err = ParallelReduce(context.Background(), &Node{ID: 9}, 4, leaf, merge)
+	if err != nil || got != 9 {
+		t.Fatalf("single leaf: %d, %v", got, err)
+	}
+}

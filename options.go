@@ -46,11 +46,19 @@ func buildConfig(opts []Option) (core.Config, error) {
 }
 
 // WithWorkers bounds the shared-memory workers used inside each rank
-// (default 1, modelling single-CPU cluster nodes).
+// (default 1, modelling single-CPU cluster nodes). n == 0 means "all
+// cores". Alignments are byte-identical for every worker count; workers
+// only change wall-clock time.
 func WithWorkers(n int) Option {
 	return func(s *settings) error {
-		if n < 1 {
+		if n < 0 {
 			return fmt.Errorf("samplealign: workers = %d", n)
+		}
+		if n == 0 {
+			// core treats 0 as "apply the single-CPU default of 1", so
+			// "all cores" travels as a negative sentinel, which every
+			// engine resolves to par.DefaultWorkers().
+			n = -1
 		}
 		s.cfg.Workers = n
 		return nil

@@ -50,8 +50,11 @@ func TestAlignOptions(t *testing.T) {
 
 func TestAlignOptionValidation(t *testing.T) {
 	seqs := testSeqs(t, 4)
-	if _, _, err := Align(seqs, 2, WithWorkers(0)); err == nil {
-		t.Error("workers=0 accepted")
+	if _, _, err := Align(seqs, 2, WithWorkers(-1)); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, _, err := Align(seqs, 2, WithWorkers(0)); err != nil {
+		t.Errorf("workers=0 (all cores) rejected: %v", err)
 	}
 	if _, _, err := Align(seqs, 2, WithK(0)); err == nil {
 		t.Error("k=0 accepted")
