@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 2008, "master RNG seed")
 	workers := flag.Int("workers", 0,
 		"shared-memory workers for real runs; 0 keeps the historical defaults (1 per distributed rank, all cores for sequential baselines)")
+	jsonOut := flag.String("json", "",
+		"write machine-readable results of every real (non-simulated) run to this file")
 	flag.Parse()
 
 	r := &runner{quick: *quick, seed: *seed, workers: *workers}
@@ -68,6 +72,42 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, r.results); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d real-run results to %s\n", len(r.results), *jsonOut)
+	}
+}
+
+// BenchResult is one real (non-simulated) distributed run in the
+// machine-readable -json output, the format the BENCH_*.json perf
+// trajectory is built from.
+type BenchResult struct {
+	Name        string  `json:"name"`    // experiment/series label
+	N           int     `json:"n"`       // input sequences
+	P           int     `json:"p"`       // ranks
+	Workers     int     `json:"workers"` // intra-rank workers (0 = historical default)
+	Seconds     float64 `json:"seconds"`
+	NsPerOp     int64   `json:"ns_per_op"`     // one op = one full distributed alignment
+	AllocsPerOp uint64  `json:"allocs_per_op"` // heap allocations during the run
+	BytesSent   int64   `json:"bytes_sent"`    // communication volume, all ranks
+	BytesRecv   int64   `json:"bytes_received"`
+}
+
+func writeResults(path string, results []BenchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type runner struct {
@@ -76,6 +116,42 @@ type runner struct {
 	workers int // intra-rank workers for the real runs
 
 	diverse []bio.Sequence // cached Fig. 1/3/Table 1 input
+	results []BenchResult  // real runs, written by -json
+}
+
+// measure runs one real distributed alignment, records a BenchResult
+// (wall clock, allocations, comm volume) and returns the run for the
+// experiment's own reporting.
+func (r *runner) measure(name string, seqs []bio.Sequence, p int) (*core.Result, float64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := core.AlignInproc(seqs, p, r.realConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	var sent, recv int64
+	for _, s := range res.Stats {
+		if s == nil {
+			continue
+		}
+		sent += s.Comm.BytesSent
+		recv += s.Comm.BytesRecv
+	}
+	r.results = append(r.results, BenchResult{
+		Name:        name,
+		N:           len(seqs),
+		P:           p,
+		Workers:     r.workers,
+		Seconds:     elapsed.Seconds(),
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesSent:   sent,
+		BytesRecv:   recv,
+	})
+	return res, elapsed.Seconds(), nil
 }
 
 // realConfig is the core configuration of every real (non-simulated)
@@ -201,11 +277,11 @@ func (r *runner) fig4() error {
 	fmt.Printf("real runs (N=%d, in-process ranks sharing local cores):\n", n)
 	fmt.Printf("%6s %12s\n", "p", "seconds")
 	for _, p := range []int{1, 2, 4, 8} {
-		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
+		_, secs, err := r.measure("fig4", seqs, p)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
+		fmt.Printf("%6d %12.3f\n", p, secs)
 	}
 	// paper-scale simulated series
 	cal := cluster.Synthetic()
@@ -239,11 +315,10 @@ func (r *runner) fig5() error {
 	fmt.Printf("real runs (N=%d):\n%6s %12s %10s\n", n, "p", "seconds", "speedup")
 	var t1 float64
 	for _, p := range []int{1, 2, 4, 8} {
-		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
+		_, secs, err := r.measure("fig5", seqs, p)
+		if err != nil {
 			return err
 		}
-		secs := time.Since(start).Seconds()
 		if p == 1 {
 			t1 = secs
 		}
@@ -280,11 +355,11 @@ func (r *runner) fig6() error {
 	}
 	fmt.Printf("real runs (synthetic genome sample, N=%d):\n%6s %12s\n", n, "p", "seconds")
 	for _, p := range []int{1, 4, 8} {
-		start := time.Now()
-		if _, err := core.AlignInproc(seqs, p, r.realConfig()); err != nil {
+		_, secs, err := r.measure("fig6", seqs, p)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("%6d %12.3f\n", p, time.Since(start).Seconds())
+		fmt.Printf("%6d %12.3f\n", p, secs)
 	}
 	cal := cluster.Genome()
 	fmt.Println("\nsimulated paper scale (N=2000, L=316):")
@@ -372,7 +447,7 @@ func (r *runner) comm() error {
 	}
 	fmt.Printf("%6s %14s %12s %14s %12s\n", "p", "bytes sent", "messages", "max bucket", "bound 2N/p")
 	for _, p := range []int{2, 4, 8} {
-		res, err := core.AlignInproc(seqs, p, r.realConfig())
+		res, _, err := r.measure("comm", seqs, p)
 		if err != nil {
 			return err
 		}

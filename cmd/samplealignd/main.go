@@ -10,6 +10,12 @@
 //	samplealignd -rank 3 -addrs :7000,:7001,:7002,:7003 -in shard3.fa &
 //
 // Every rank must list the same addresses (rank i listens on addrs[i]).
+//
+// Worker mode — instead of one batch run, serve successive cluster jobs
+// dispatched by a samplealignsrv coordinator (which is rank 0 and ships
+// each job's shard over the control connection):
+//
+//	samplealignd -worker-ctrl :9001 -worker-mesh 127.0.0.1:9101
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"syscall"
 
 	samplealign "repro"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -32,7 +39,28 @@ func main() {
 	workers := flag.Int("workers", 1, "shared-memory workers in this rank (0 = all cores)")
 	aligner := flag.String("aligner", "muscle", "bucket aligner")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+	workerCtrl := flag.String("worker-ctrl", "", "serve cluster jobs: control listen address (see samplealignsrv -cluster)")
+	workerMesh := flag.String("worker-mesh", "", "worker mode: fixed rank mesh listen address (host:port reachable by the cluster)")
 	flag.Parse()
+
+	if *workerCtrl != "" || *workerMesh != "" {
+		if *workerCtrl == "" || *workerMesh == "" {
+			fatal(fmt.Errorf("worker mode needs both -worker-ctrl and -worker-mesh"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := serve.RunWorker(ctx, serve.WorkerConfig{
+			CtrlAddr: *workerCtrl,
+			MeshAddr: *workerMesh,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "samplealignd: "+format+"\n", args...)
+			},
+		})
+		if err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
 
 	addrs := splitNonEmpty(*addrList)
 	if *rank < 0 || *in == "" || len(addrs) == 0 {

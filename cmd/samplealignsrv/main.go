@@ -1,0 +1,88 @@
+// Command samplealignsrv serves Sample-Align-D as a long-running HTTP
+// job service: submit FASTA over HTTP, poll for status, fetch the
+// aligned result. Jobs flow through a bounded queue with admission
+// control (429 on overload) and identical resubmissions are answered
+// from a content-addressed result cache.
+//
+// Usage:
+//
+//	samplealignsrv -addr :8080 -p 4 -max-concurrent 2
+//
+// Submit / poll / fetch:
+//
+//	curl -s --data-binary @seqs.fa 'localhost:8080/v1/jobs?procs=4'   # → {"id":"j..."}
+//	curl -s localhost:8080/v1/jobs/<id>                               # status
+//	curl -s localhost:8080/v1/jobs/<id>/result                        # aligned FASTA
+//
+// Or synchronously (client disconnect cancels the job):
+//
+//	curl -s --data-binary @seqs.fa localhost:8080/v1/align
+//
+// With -cluster, jobs fan out over a pre-connected TCP rank cluster of
+// samplealignd worker daemons instead of in-process ranks:
+//
+//	samplealignd -worker-ctrl :9001 -worker-mesh 127.0.0.1:9101 &
+//	samplealignd -worker-ctrl :9002 -worker-mesh 127.0.0.1:9102 &
+//	samplealignsrv -addr :8080 -cluster 127.0.0.1:9001,127.0.0.1:9002 \
+//	               -cluster-self 127.0.0.1:9100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	samplealign "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	procs := flag.Int("p", 4, "default ranks per job")
+	workers := flag.Int("workers", 1, "default shared-memory workers per rank")
+	aligner := flag.String("aligner", "muscle",
+		fmt.Sprintf("default bucket aligner: %s", strings.Join(samplealign.SequentialAligners(), "|")))
+	maxConcurrent := flag.Int("max-concurrent", 2, "jobs aligning at once")
+	maxQueued := flag.Int("max-queued", 64, "queued jobs beyond the running ones (429 past this)")
+	maxProcs := flag.Int("max-procs", 64, "reject jobs requesting more ranks than this")
+	workerBudget := flag.Int("worker-budget", 0, "clamp procs*workers per job (0 = no cap)")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache entry bound (-1 disables)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache byte bound (-1 unbounded)")
+	cluster := flag.String("cluster", "", "comma-separated worker control addresses (samplealignd -worker-ctrl); empty = in-process ranks")
+	clusterSelf := flag.String("cluster-self", "", "this server's rank-0 mesh listen address (required with -cluster)")
+	flag.Parse()
+
+	cfg := samplealign.ServerConfig{
+		DefaultProcs:   *procs,
+		DefaultWorkers: *workers,
+		DefaultAligner: *aligner,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueued:      *maxQueued,
+		MaxProcs:       *maxProcs,
+		WorkerBudget:   *workerBudget,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		ClusterSelf:    *clusterSelf,
+	}
+	for _, w := range strings.Split(*cluster, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			cfg.ClusterWorkers = append(cfg.ClusterWorkers, w)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	mode := "in-process ranks"
+	if len(cfg.ClusterWorkers) > 0 {
+		mode = fmt.Sprintf("TCP cluster of %d workers", len(cfg.ClusterWorkers))
+	}
+	fmt.Fprintf(os.Stderr, "samplealignsrv: listening on %s (%s, default p=%d, aligner %s)\n",
+		*addr, mode, *procs, *aligner)
+	if err := samplealign.ListenAndServe(ctx, *addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "samplealignsrv:", err)
+		os.Exit(1)
+	}
+}

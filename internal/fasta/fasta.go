@@ -1,14 +1,16 @@
 // Package fasta reads and writes sequence sets in FASTA format.
 //
 // The reader is tolerant of the variation found in real files: blank
-// lines, Windows line endings, arbitrary line widths and trailing
-// whitespace. The writer emits fixed-width records suitable for other
-// tools.
+// lines, Windows (CRLF) and classic Mac (CR) line endings, arbitrary
+// line widths, trailing whitespace, and gzip-compressed input (sniffed
+// by magic bytes, so uploads need no content-type negotiation). The
+// writer emits fixed-width records suitable for other tools.
 package fasta
 
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -17,10 +19,65 @@ import (
 	"repro/internal/bio"
 )
 
-// Read parses every FASTA record from r.
+// gzip magic bytes (RFC 1952).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// scanLines is a bufio.SplitFunc that terminates lines at \n, \r\n or a
+// lone \r (classic Mac endings make the whole file one bufio.ScanLines
+// line, which would mis-parse as a single giant header).
+func scanLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexAny(data, "\r\n"); i >= 0 {
+		advance = i + 1
+		if data[i] == '\r' {
+			if i+1 < len(data) {
+				if data[i+1] == '\n' {
+					advance++
+				}
+			} else if !atEOF {
+				// \r at the buffer edge: wait to see whether \n follows.
+				return 0, nil, nil
+			}
+		}
+		return advance, data[:i], nil
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
+
+// sniffReader transparently decompresses gzip input, detected by its
+// magic bytes; everything else passes through unchanged.
+func sniffReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(gzipMagic))
+	if err != nil {
+		// Short or empty input: not gzip; let the FASTA parser handle it.
+		return br, nil
+	}
+	if !bytes.Equal(magic, gzipMagic) {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("fasta: gzip input: %w", err)
+	}
+	return zr, nil
+}
+
+// Read parses every FASTA record from r. Gzip-compressed input is
+// detected by magic bytes and decompressed transparently.
 func Read(r io.Reader) ([]bio.Sequence, error) {
-	sc := bufio.NewScanner(r)
+	plain, err := sniffReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(plain)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	sc.Split(scanLines)
 	var (
 		seqs []bio.Sequence
 		cur  *bio.Sequence

@@ -1,6 +1,9 @@
 package fasta
 
 import (
+	"bytes"
+	"compress/gzip"
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -120,5 +123,83 @@ func TestWriteFileReadFile(t *testing.T) {
 	}
 	if len(back) != 1 || back[0].String() != "ACDEF" {
 		t.Fatalf("file round trip: %+v", back)
+	}
+}
+
+func TestReadCRLFAndCROnly(t *testing.T) {
+	want := map[string]string{"a": "ACDEF", "b": "GGHH"}
+	for name, in := range map[string]string{
+		"crlf":   ">a one\r\nACD\r\nEF\r\n>b\r\nGGHH\r\n",
+		"cr":     ">a one\rACD\rEF\r>b\rGGHH\r",
+		"mixed":  ">a one\nACD\r\nEF\r>b\nGGHH",
+		"no-eol": ">a one\r\nACDEF\r\n>b\r\nGGHH",
+	} {
+		seqs, err := ParseString(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(seqs) != 2 {
+			t.Fatalf("%s: got %d records, want 2: %+v", name, len(seqs), seqs)
+		}
+		for _, s := range seqs {
+			if s.String() != want[s.ID] {
+				t.Errorf("%s: %s = %q, want %q", name, s.ID, s.String(), want[s.ID])
+			}
+		}
+		if seqs[0].Desc != "one" {
+			t.Errorf("%s: desc = %q, want \"one\"", name, seqs[0].Desc)
+		}
+	}
+}
+
+func TestReadGzip(t *testing.T) {
+	plain := ">g1 zipped\nACDEFGHIKL\n>g2\nMNPQ\n"
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(plain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0].String() != "ACDEFGHIKL" || seqs[1].String() != "MNPQ" {
+		t.Fatalf("gzip parse: %+v", seqs)
+	}
+	if seqs[0].Desc != "zipped" {
+		t.Fatalf("gzip desc: %q", seqs[0].Desc)
+	}
+
+	// A gzip file is also sniffed through ReadFile.
+	path := t.TempDir() + "/x.fa.gz"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].String() != "MNPQ" {
+		t.Fatalf("gzip file round trip: %+v", back)
+	}
+}
+
+func TestReadGzipCorrupt(t *testing.T) {
+	// Valid magic, garbage beyond: must error, not parse as FASTA.
+	if _, err := Read(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00, 0x01})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestReadShortInput(t *testing.T) {
+	// Inputs shorter than the gzip magic must not error in the sniffer.
+	if seqs, err := ParseString(""); err != nil || len(seqs) != 0 {
+		t.Fatalf("empty input: %v %v", seqs, err)
+	}
+	if _, err := ParseString("A"); err == nil {
+		t.Fatal("1-byte residue line without header accepted")
 	}
 }

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fasta"
+)
+
+// freeAddr reserves an ephemeral localhost port and returns it. The
+// tiny window between Close and reuse is the standard test trade-off.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startCluster spins up n in-process worker daemons and returns a
+// ready Cluster executor plus a cancel for the workers.
+func startCluster(t *testing.T, n int) (*Cluster, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ctrls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ctrls[i] = freeAddr(t)
+		cfg := WorkerConfig{CtrlAddr: ctrls[i], MeshAddr: freeAddr(t), Logf: t.Logf}
+		go func() {
+			if err := RunWorker(ctx, cfg); err != nil && ctx.Err() == nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	// Wait for every control listener to come up.
+	for _, ctrl := range ctrls {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			conn, err := net.DialTimeout("tcp", ctrl, time.Second)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %s never listened: %v", ctrl, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return &Cluster{Workers: ctrls, SelfAddr: freeAddr(t)}, cancel
+}
+
+func TestClusterExecutorMatchesInproc(t *testing.T) {
+	cl, stop := startCluster(t, 2)
+	defer stop()
+	seqs := testSeqs(21, 60, 70)
+	opts, err := resolve(Options{Procs: 99 /* overridden by world size */}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, rep, err := cl.Align(context.Background(), seqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 3 {
+		t.Fatalf("cluster procs = %d, want 3 (2 workers + rank 0)", rep.Procs)
+	}
+	res, err := core.AlignInproc(seqs, 3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fasta.FormatString(aln.Seqs), fasta.FormatString(res.Alignment.Seqs); got != want {
+		t.Fatalf("cluster output differs from inproc (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The same cluster serves a second job (mesh ports are reusable).
+	aln2, _, err := cl.Align(context.Background(), seqs[:10], opts)
+	if err != nil {
+		t.Fatalf("second cluster job: %v", err)
+	}
+	if aln2.NumSeqs() != 10 {
+		t.Fatalf("second job rows = %d", aln2.NumSeqs())
+	}
+}
+
+func TestClusterJobCancellation(t *testing.T) {
+	cl, stop := startCluster(t, 2)
+	defer stop()
+	opts, err := resolve(Options{}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A big job cancelled mid-flight must return promptly (the mpi
+	// context plumbing unwinds rank 0 and the control connections tear
+	// down the workers) and leave the cluster usable.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cl.Align(ctx, testSeqs(300, 400, 71), opts)
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // let the mesh form and ranks start
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Log("job finished before the cancel landed; only reuse is checked")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Logf("cancelled cluster job returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled cluster job hung")
+	}
+
+	// Workers must have recovered for the next job.
+	aln, _, err := cl.Align(context.Background(), testSeqs(12, 40, 72), opts)
+	if err != nil {
+		t.Fatalf("cluster unusable after cancellation: %v", err)
+	}
+	if aln.NumSeqs() != 12 {
+		t.Fatalf("post-cancel job rows = %d", aln.NumSeqs())
+	}
+}
+
+func TestClusterWorkerUnreachableFailsFast(t *testing.T) {
+	// A dead worker address must fail the job with an error, not hang.
+	cl := &Cluster{
+		Workers:     []string{freeAddr(t)}, // nothing listens here
+		SelfAddr:    freeAddr(t),
+		DialTimeout: 500 * time.Millisecond,
+	}
+	opts, err := resolve(Options{}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cl.Align(context.Background(), testSeqs(6, 30, 73), opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("unreachable worker accepted")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("unreachable worker hung the job")
+	}
+}

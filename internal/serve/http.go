@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/fasta"
+)
+
+// MaxRequestBytes bounds submit bodies (gzip-expanded FASTA included,
+// since the limit applies to the wire bytes before decompression).
+const MaxRequestBytes = 128 << 20
+
+// SubmitRequest is the JSON submit body. Raw FASTA bodies (text/*,
+// application/octet-stream, or anything starting with '>' or the gzip
+// magic) are accepted too, with options taken from query parameters.
+type SubmitRequest struct {
+	FASTA   string  `json:"fasta"`
+	Options Options `json:"options"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs             submit (async) → 202 + job status JSON
+//	GET    /v1/jobs/{id}        status JSON
+//	GET    /v1/jobs/{id}/result aligned FASTA
+//	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/align            submit + wait (sync) → aligned FASTA;
+//	                            client disconnect cancels the job
+//	GET    /healthz             liveness + queue stats
+//	GET    /metrics             Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/align", s.handleAlignSync)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitError maps Submit errors onto status codes.
+func submitError(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// parseSubmit extracts the sequences and options from a submit body.
+func parseSubmit(r *http.Request) ([]bio.Sequence, Options, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil {
+		return nil, Options{}, badRequest("reading body: %v", err)
+	}
+	if len(body) > MaxRequestBytes {
+		return nil, Options{}, badRequest("request body exceeds %d bytes", MaxRequestBytes)
+	}
+	var o Options
+	fastaText := body
+	if isJSONSubmit(r, body) {
+		var req SubmitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, Options{}, badRequest("decoding JSON body: %v", err)
+		}
+		o = req.Options
+		fastaText = []byte(req.FASTA)
+	}
+	if err := optionsFromQuery(r, &o); err != nil {
+		return nil, Options{}, err
+	}
+	// Gzip input would inflate inside fasta.Read, where the wire-byte
+	// limit above cannot bound memory: inflate here with a cap on the
+	// *expanded* size, or a small gzip bomb could OOM the server.
+	if len(fastaText) >= 2 && fastaText[0] == 0x1f && fastaText[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(fastaText))
+		if err != nil {
+			return nil, Options{}, badRequest("gzip body: %v", err)
+		}
+		expanded, err := io.ReadAll(io.LimitReader(zr, MaxRequestBytes+1))
+		if err != nil {
+			return nil, Options{}, badRequest("gzip body: %v", err)
+		}
+		if len(expanded) > MaxRequestBytes {
+			return nil, Options{}, badRequest("decompressed body exceeds %d bytes", MaxRequestBytes)
+		}
+		fastaText = expanded
+	}
+	seqs, err := fasta.Read(bytes.NewReader(fastaText))
+	if err != nil {
+		return nil, Options{}, badRequest("parsing FASTA: %v", err)
+	}
+	return seqs, o, nil
+}
+
+func isJSONSubmit(r *http.Request, body []byte) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			if mt == "application/json" {
+				return true
+			}
+			if strings.HasPrefix(mt, "text/") || mt == "application/octet-stream" {
+				return false
+			}
+		}
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n") // subslice, no copy
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// optionsFromQuery overlays query parameters (?procs=8&aligner=clustal…)
+// onto o; they win over JSON body options.
+func optionsFromQuery(r *http.Request, o *Options) error {
+	q := r.URL.Query()
+	getInt := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return badRequest("query %s=%q: %v", name, v, err)
+		}
+		*dst = n
+		return nil
+	}
+	getBool := func(name string, dst *bool) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return badRequest("query %s=%q: %v", name, v, err)
+		}
+		*dst = b
+		return nil
+	}
+	if err := getInt("procs", &o.Procs); err != nil {
+		return err
+	}
+	if err := getInt("workers", &o.Workers); err != nil {
+		return err
+	}
+	if err := getInt("k", &o.K); err != nil {
+		return err
+	}
+	if err := getInt("sample_size", &o.SampleSize); err != nil {
+		return err
+	}
+	if err := getBool("no_finetune", &o.NoFineTune); err != nil {
+		return err
+	}
+	if err := getBool("random_sampling", &o.RandomSampling); err != nil {
+		return err
+	}
+	if err := getBool("full_alphabet", &o.FullAlphabet); err != nil {
+		return err
+	}
+	if v := q.Get("aligner"); v != "" {
+		o.Aligner = v
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return badRequest("query timeout_ms=%q: %v", v, err)
+		}
+		o.TimeoutMs = ms
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	seqs, o, err := parseSubmit(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	job, err := s.Submit(seqs, o)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	v := job.View()
+	code := http.StatusAccepted
+	if v.State.Terminal() { // cache hit: done before the response left
+		code = http.StatusOK
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, state, err := job.resultIfDone()
+	switch state {
+	case StateDone:
+		payload, ok := s.resultPayload(job, res)
+		if !ok {
+			writeError(w, http.StatusGone, "result evicted from the cache; resubmit the job")
+			return
+		}
+		writeFASTA(w, job, payload)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %v", err)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled: %v", err)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job is %s; retry later", state)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	live, err := s.Cancel(id, errors.New("canceled by client request"))
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": live})
+}
+
+// handleAlignSync is submit + wait in one request. The job is bound to
+// the request: if the client disconnects, the context cancellation
+// propagates into the running alignment and frees its workers.
+func (s *Server) handleAlignSync(w http.ResponseWriter, r *http.Request) {
+	seqs, o, err := parseSubmit(r)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	job, err := s.Submit(seqs, o)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		s.cancelJob(job, errors.New("client disconnected"))
+		<-job.Done() // wait for the executor to actually unwind
+		return       // client is gone; nothing to write
+	}
+	res, state, jerr := job.resultIfDone()
+	switch state {
+	case StateDone:
+		payload, ok := s.resultPayload(job, res)
+		if !ok { // evicted between completion and this write; vanishingly rare
+			writeError(w, http.StatusGone, "result evicted from the cache; resubmit the job")
+			return
+		}
+		writeFASTA(w, job, payload)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled: %v", jerr)
+	default:
+		writeError(w, http.StatusInternalServerError, "job failed: %v", jerr)
+	}
+}
+
+func writeFASTA(w http.ResponseWriter, job *Job, payload []byte) {
+	w.Header().Set("Content-Type", "text/x-fasta; charset=utf-8")
+	w.Header().Set("X-Job-Id", job.ID)
+	w.Header().Set("X-Cache-Key", job.Key)
+	if job.View().Cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"executor": s.cfg.Executor.Name(),
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+		"queue":    s.Stats(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.Render(s.Stats(), s.cache.Evictions()))
+}

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fasta"
+)
+
+func httpServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postFASTA(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "text/x-fasta", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeView(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, ts := httpServer(t, Config{})
+	in := fasta.FormatString(testSeqs(12, 50, 40))
+
+	resp := postFASTA(t, ts.URL+"/v1/jobs?procs=2", in)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.ID == "" || v.State == "" {
+		t.Fatalf("bad submit response: %+v", v)
+	}
+
+	// Poll to completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for !v.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = decodeView(t, r)
+	}
+	if v.State != StateDone {
+		t.Fatalf("job finished %s: %s", v.State, v.Error)
+	}
+
+	// Fetch the result and check it is a valid alignment of the input.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", r.StatusCode)
+	}
+	if got := r.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", got)
+	}
+	body, _ := io.ReadAll(r.Body)
+	rows, err := fasta.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("result has %d rows, want 12", len(rows))
+	}
+
+	// Resubmission: same bytes, same options → instant cached 200.
+	resp2 := postFASTA(t, ts.URL+"/v1/jobs?procs=2", in)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit status = %d, want 200", resp2.StatusCode)
+	}
+	v2 := decodeView(t, resp2)
+	if !v2.Cached || v2.State != StateDone {
+		t.Fatalf("resubmission not served from cache: %+v", v2)
+	}
+}
+
+func TestHTTPSyncAlignAndJSONSubmit(t *testing.T) {
+	_, ts := httpServer(t, Config{})
+	seqs := testSeqs(8, 40, 41)
+	body, _ := json.Marshal(SubmitRequest{
+		FASTA:   fasta.FormatString(seqs),
+		Options: Options{Procs: 2, Aligner: "muscle"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sync align status = %d: %s", resp.StatusCode, b)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	rows, err := fasta.Read(bytes.NewReader(out))
+	if err != nil || len(rows) != 8 {
+		t.Fatalf("sync result: %d rows, err %v", len(rows), err)
+	}
+}
+
+func TestHTTPGzipSubmit(t *testing.T) {
+	_, ts := httpServer(t, Config{})
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(fasta.FormatString(testSeqs(6, 40, 42))))
+	zw.Close()
+	resp, err := http.Post(ts.URL+"/v1/align?procs=2", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzip align status = %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestHTTPClientDisconnectCancelsJob(t *testing.T) {
+	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 2)}
+	defer close(fe.block)
+	s, ts := httpServer(t, Config{Executor: fe, MaxConcurrent: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := fasta.FormatString(testSeqs(4, 30, 43))
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/align", strings.NewReader(body))
+	req.Header.Set("Content-Type", "text/x-fasta")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errCh <- err
+	}()
+	<-fe.started // the job is running inside the blocked executor
+	cancel()     // client gives up
+
+	if err := <-errCh; err == nil {
+		t.Fatal("request unexpectedly succeeded")
+	}
+	// The disconnect must cancel the job and free its worker slot: a
+	// fresh job must be able to run to completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var canceled *Job
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.View().State == StateCanceled {
+				canceled = j
+			}
+		}
+		s.mu.Unlock()
+		if canceled != nil {
+			if msg := canceled.View().Error; !strings.Contains(msg, "disconnected") {
+				t.Fatalf("cancellation cause = %q, want client disconnect", msg)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job was never canceled after client disconnect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, err := s.Submit(testSeqs(4, 30, 44), Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fe.started // the pool is free again: the next job starts
+	s.Cancel(j.ID, nil)
+	waitState(t, j, StateCanceled)
+}
+
+func TestHTTPClientDisconnectCancelsRealAlignment(t *testing.T) {
+	// Same as above but with the real in-process executor: the
+	// disconnect must propagate through the job context into the rank
+	// world and unwind a genuinely running alignment.
+	s, ts := httpServer(t, Config{MaxConcurrent: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := fasta.FormatString(testSeqs(150, 300, 45))
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/align?procs=2", strings.NewReader(body))
+	req.Header.Set("Content-Type", "text/x-fasta")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errCh <- err
+	}()
+
+	// Wait until the job is actually executing, then disconnect.
+	var job *Job
+	deadline := time.Now().Add(30 * time.Second)
+	for job == nil {
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.View().State == StateRunning {
+				job = j
+			}
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	<-errCh
+	v := waitState(t, job, StateCanceled)
+	if !strings.Contains(v.Error, "disconnected") {
+		t.Fatalf("cancellation cause = %q", v.Error)
+	}
+	if wait := time.Since(start); wait > 10*time.Second {
+		t.Fatalf("rank world took %v to unwind after disconnect", wait)
+	}
+}
+
+func TestHTTPAdmission429(t *testing.T) {
+	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 2)}
+	defer close(fe.block)
+	_, ts := httpServer(t, Config{Executor: fe, MaxConcurrent: 1, MaxQueued: 1})
+
+	submit := func(seed int64) *http.Response {
+		return postFASTA(t, ts.URL+"/v1/jobs", fasta.FormatString(testSeqs(3, 30, seed)))
+	}
+	r1 := submit(50)
+	r1.Body.Close()
+	<-fe.started
+	r2 := submit(51)
+	r2.Body.Close()
+	r3 := submit(52)
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", r3.StatusCode)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestHTTPErrorsAndHealthAndMetrics(t *testing.T) {
+	_, ts := httpServer(t, Config{Limits: Limits{MaxProcs: 4}})
+
+	// Unknown job.
+	for _, path := range []string{"/v1/jobs/junk", "/v1/jobs/junk/result"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s = %d, want 404", path, r.StatusCode)
+		}
+	}
+	// Bad requests.
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/jobs", "not fasta at all"},
+		{"/v1/jobs?procs=999", ">a\nACD\n"},    // over MaxProcs
+		{"/v1/jobs?procs=banana", ">a\nACD\n"}, // unparsable query
+		{"/v1/jobs?aligner=nope", ">a\nACD\n"}, // unknown aligner
+		{"/v1/jobs", ">a\nACD\n>a\nACD\n"},     // duplicate ids
+		{"/v1/jobs", `{"fasta": 3}`},           // bad JSON shape
+	} {
+		r := postFASTA(t, ts.URL+tc.path, tc.body)
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s %q = %d, want 400", tc.path, tc.body, r.StatusCode)
+		}
+	}
+
+	// Health.
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string     `json:"status"`
+		Executor string     `json:"executor"`
+		Queue    QueueStats `json:"queue"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if health.Status != "ok" || health.Executor != "inproc" {
+		t.Fatalf("health: %+v", health)
+	}
+
+	// Metrics include the admission counters and histograms.
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	for _, want := range []string{
+		"samplealign_jobs_submitted_total",
+		"samplealign_cache_hits_total",
+		"samplealign_queue_depth",
+		"samplealign_job_run_seconds_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestHTTPResultStates(t *testing.T) {
+	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 2)}
+	defer close(fe.block)
+	s, ts := httpServer(t, Config{Executor: fe, MaxConcurrent: 1})
+	j, err := s.Submit(testSeqs(3, 30, 60), Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fe.started
+	// Result of a running job: 409 + Retry-After.
+	r, _ := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, j.ID))
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("running result = %d, want 409", r.StatusCode)
+	}
+	// Cancel over HTTP; result then reports 410.
+	req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/jobs/%s", ts.URL, j.ID), nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dr.Body)
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", dr.StatusCode)
+	}
+	waitState(t, j, StateCanceled)
+	r, _ = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, j.ID))
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusGone {
+		t.Fatalf("canceled result = %d, want 410", r.StatusCode)
+	}
+}

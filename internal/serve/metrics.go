@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Metrics are the service counters and latency histograms exposed at
+// /metrics (Prometheus text format). All fields are goroutine-safe.
+type Metrics struct {
+	Submitted   stats.Counter // jobs accepted by Submit (incl. cache hits)
+	Completed   stats.Counter // jobs finished successfully (incl. cache hits)
+	Failed      stats.Counter
+	Canceled    stats.Counter
+	Rejected    stats.Counter // admission-control 429s
+	CacheHits   stats.Counter
+	CacheMisses stats.Counter
+
+	QueueWait  *stats.LatencyHistogram // seconds from submit to execution start
+	RunSeconds *stats.LatencyHistogram // execution wall-clock
+}
+
+// NewMetrics builds the metric set with the default latency bounds.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		QueueWait:  stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
+		RunSeconds: stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
+	}
+}
+
+// Render writes the Prometheus text exposition, folding in the queue
+// and cache gauges sampled at call time.
+func (m *Metrics) Render(q QueueStats, evictions int64) string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " counter\n")
+		writeMetricLine(&b, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " gauge\n")
+		writeMetricLine(&b, name, v)
+	}
+	counter("samplealign_jobs_submitted_total", "Jobs accepted by submit.", m.Submitted.Value())
+	counter("samplealign_jobs_completed_total", "Jobs finished successfully.", m.Completed.Value())
+	counter("samplealign_jobs_failed_total", "Jobs finished with an error.", m.Failed.Value())
+	counter("samplealign_jobs_canceled_total", "Jobs canceled by caller, deadline or disconnect.", m.Canceled.Value())
+	counter("samplealign_jobs_rejected_total", "Submissions rejected by admission control (429).", m.Rejected.Value())
+	counter("samplealign_cache_hits_total", "Submissions answered from the result cache.", m.CacheHits.Value())
+	counter("samplealign_cache_misses_total", "Submissions that had to run.", m.CacheMisses.Value())
+	counter("samplealign_cache_evictions_total", "Results evicted from the cache.", evictions)
+	gauge("samplealign_queue_depth", "Jobs admitted and waiting.", int64(q.Queued))
+	gauge("samplealign_jobs_running", "Jobs currently executing.", int64(q.Active))
+	gauge("samplealign_cache_entries", "Results held in the cache.", int64(q.CacheEntries))
+	gauge("samplealign_cache_bytes", "FASTA bytes held in the cache.", q.CacheBytes)
+	m.QueueWait.Snapshot().WritePrometheus(&b, "samplealign_job_queue_wait_seconds")
+	m.RunSeconds.Snapshot().WritePrometheus(&b, "samplealign_job_run_seconds")
+	return b.String()
+}
+
+func writeMetricLine(b *strings.Builder, name string, v int64) {
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(v, 10))
+	b.WriteByte('\n')
+}

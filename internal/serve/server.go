@@ -1,0 +1,577 @@
+// Package serve turns the Sample-Align-D pipeline into a long-running
+// alignment service: a bounded asynchronous job queue with admission
+// control, a content-addressed LRU result cache, pluggable executors
+// (in-process ranks by default, a pre-connected TCP rank cluster
+// optionally) and an HTTP/JSON API (see Handler).
+//
+// Lifecycle of a job: Submit canonicalizes the input and options,
+// consults the cache (a hit completes the job instantly), applies
+// admission control (full queue ⇒ ErrOverloaded, which the HTTP layer
+// maps to 429), and enqueues. A fixed pool of dispatchers executes
+// queued jobs FIFO; cancellation — explicit, caller deadline, or client
+// disconnect on the synchronous endpoint — propagates through the job's
+// context into the rank world via the core/mpi context plumbing, so a
+// cancelled job stops consuming workers mid-alignment.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/fasta"
+	"repro/internal/msa"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrOverloaded = errors.New("serve: queue full, try again later") // → 429
+	ErrClosed     = errors.New("serve: server is shutting down")     // → 503
+	ErrNotFound   = errors.New("serve: no such job")                 // → 404
+)
+
+// BadRequestError marks client errors (malformed input or options) so
+// the HTTP layer can answer 400 instead of 500.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) error {
+	return &BadRequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config parameterises a Server. The zero value is usable: in-process
+// executor, 2 concurrent jobs, 64 queued, 256-entry/64 MiB cache.
+type Config struct {
+	Defaults      Options  // server-side option defaults for requests
+	Limits        Limits   // per-job procs/workers bounds
+	MaxConcurrent int      // jobs aligning at once (default 2)
+	MaxQueued     int      // jobs waiting beyond the running ones (default 64)
+	CacheEntries  int      // result cache entry bound (default 256; -1 disables)
+	CacheBytes    int64    // result cache byte bound (default 64 MiB; -1 unbounded)
+	MaxJobs       int      // finished-job records retained for status (default 1024)
+	Executor      Executor // default Inproc{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Executor == nil {
+		c.Executor = Inproc{}
+	}
+	return c
+}
+
+// Job is one submitted alignment. All mutable state is guarded by mu;
+// done closes exactly once on reaching a terminal state.
+type Job struct {
+	ID        string
+	Key       string // content address (cache key)
+	Opts      Resolved
+	Submitted time.Time
+	NumSeqs   int
+
+	seqs   []bio.Sequence
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	cached   bool
+	result   *Result
+	err      error
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is an immutable snapshot of a job for status reporting.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Cached    bool       `json:"cached"`
+	Key       string     `json:"cache_key"`
+	NumSeqs   int        `json:"num_seqs"`
+	Opts      Resolved   `json:"options"`
+	Submitted time.Time  `json:"submitted_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Cached:    j.cached,
+		Key:       j.Key,
+		NumSeqs:   j.NumSeqs,
+		Opts:      j.Opts,
+		Submitted: j.Submitted,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// result returns the stored result if the job is done.
+func (j *Job) resultIfDone() (*Result, State, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state, j.err
+}
+
+// summaryOf strips the payload from a result for the job record.
+func summaryOf(res *Result) *Result {
+	summary := *res
+	summary.FASTA = nil
+	return &summary
+}
+
+// resultPayload returns the aligned FASTA for a done job: from the job
+// record when caching is off, from the cache otherwise. ok is false
+// when the cache has since evicted the entry.
+func (s *Server) resultPayload(job *Job, res *Result) ([]byte, bool) {
+	if res.FASTA != nil {
+		return res.FASTA, true
+	}
+	if cres, ok := s.cache.Get(job.Key); ok {
+		return cres.FASTA, true
+	}
+	return nil, false
+}
+
+// Server owns the queue, the dispatcher pool, the cache and the job
+// table. Construct with New, serve HTTP via Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	started time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	queued int // jobs admitted but not yet picked up
+	active int // jobs currently executing
+	jobs   map[string]*Job
+	order  []string // submission order, for bounded retention
+}
+
+// New builds and starts a Server (its dispatcher pool runs until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	// CacheEntries < 0 disables caching entirely, whatever the byte
+	// bound says (a negative byte bound alone only means "no byte cap").
+	cacheEntries, cacheBytes := cfg.CacheEntries, cfg.CacheBytes
+	if cacheEntries < 0 {
+		cacheEntries, cacheBytes = -1, -1
+	}
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewCache(cacheEntries, cacheBytes),
+		metrics:    NewMetrics(),
+		started:    time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.MaxQueued),
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
+	return s
+}
+
+// Close cancels every queued and running job and waits for the
+// dispatcher pool to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func newJobID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates, cache-checks and enqueues one job. The returned job
+// may already be terminal (cache hit). ErrOverloaded means the queue is
+// at MaxQueued; *BadRequestError wraps client mistakes.
+func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
+	// A fixed-size cluster's rank count enters resolution itself, so
+	// limits and the cache key both see the procs the job actually uses.
+	opts, err := resolve(o, s.cfg.Defaults, s.cfg.Limits, s.cfg.Executor.FixedProcs())
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	if len(seqs) == 0 {
+		return nil, badRequest("no sequences in input")
+	}
+	seen := make(map[string]bool, len(seqs))
+	for _, sq := range seqs {
+		if seen[sq.ID] {
+			return nil, badRequest("duplicate sequence id %q (ids must be unique)", sq.ID)
+		}
+		seen[sq.ID] = true
+		if len(sq.Data) == 0 {
+			return nil, badRequest("sequence %q is empty", sq.ID)
+		}
+	}
+	now := time.Now()
+	job := &Job{
+		ID:        newJobID(),
+		Key:       CacheKey(seqs, opts),
+		Opts:      opts,
+		Submitted: now,
+		NumSeqs:   len(seqs),
+		done:      make(chan struct{}),
+	}
+
+	// Content-addressed fast path: identical input + options were
+	// already aligned; answer from the cache without queueing. The job
+	// record keeps only the summary — the payload stays in the cache,
+	// so its byte bound governs result memory (see resultPayload).
+	if res, ok := s.cache.Get(job.Key); ok {
+		s.metrics.Submitted.Inc()
+		s.metrics.CacheHits.Inc()
+		job.state = StateDone
+		job.cached = true
+		job.result = summaryOf(res)
+		job.started, job.finished = now, now
+		close(job.done)
+		s.remember(job)
+		s.metrics.Completed.Inc()
+		return job, nil
+	}
+
+	jctx, jcancel := context.WithCancelCause(s.baseCtx)
+	cancelAll := jcancel
+	if opts.Timeout > 0 {
+		// The caller's deadline counts from submission: time spent
+		// queued is the server's problem, not extra budget.
+		dctx, dcancel := context.WithDeadlineCause(jctx, now.Add(opts.Timeout),
+			fmt.Errorf("job deadline (%v) exceeded", opts.Timeout))
+		jctx = dctx
+		cancelAll = func(cause error) { dcancel(); jcancel(cause) }
+	}
+	job.ctx, job.cancel = jctx, cancelAll
+	job.seqs = seqs
+	job.state = StateQueued
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jcancel(ErrClosed)
+		return nil, ErrClosed
+	}
+	if s.queued >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		s.metrics.Rejected.Inc()
+		jcancel(ErrOverloaded)
+		return nil, ErrOverloaded
+	}
+	s.queued++
+	s.rememberLocked(job)
+	// Send under the lock: capacity MaxQueued ≥ queued means this never
+	// blocks, and holding mu makes the send safe against Close closing
+	// the channel in between.
+	s.queue <- job
+	s.mu.Unlock()
+	// Counted only after admission: a 429 is neither an accepted job
+	// nor a cache miss that ran.
+	s.metrics.Submitted.Inc()
+	s.metrics.CacheMisses.Inc()
+	return job, nil
+}
+
+// remember stores the job record, pruning the oldest terminal jobs
+// beyond MaxJobs.
+func (s *Server) remember(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rememberLocked(job)
+}
+
+func (s *Server) rememberLocked(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := make([]string, 0, len(s.order))
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if excess > 0 && id != job.ID {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal { // live jobs are never dropped, whatever the cap
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a queued or running job. It returns
+// ErrNotFound for unknown IDs and reports whether the job was still
+// live (false: it had already finished).
+func (s *Server) Cancel(id string, cause error) (bool, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, ErrNotFound
+	}
+	return s.cancelJob(j, cause), nil
+}
+
+func (s *Server) cancelJob(j *Job, cause error) bool {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	wasQueued := j.state == StateQueued
+	if wasQueued {
+		// Still waiting: finalize here; the dispatcher will skip it.
+		j.state = StateCanceled
+		j.err = cause
+		j.finished = time.Now()
+		j.seqs = nil // drop the input now, not at record pruning
+	}
+	j.mu.Unlock()
+	j.cancel(cause) // unwinds the rank world if running
+	if wasQueued {
+		close(j.done)
+		s.metrics.Canceled.Inc()
+	}
+	return true
+}
+
+// dispatch is one worker of the executor pool.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.active++
+		s.mu.Unlock()
+		s.run(job)
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}
+}
+
+// run executes one dequeued job to a terminal state.
+func (s *Server) run(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.metrics.QueueWait.Observe(job.started.Sub(job.Submitted).Seconds())
+
+	var (
+		res *Result
+		err error
+	)
+	if err = job.ctx.Err(); err == nil {
+		var aln *msa.Alignment
+		var rep ExecReport
+		aln, rep, err = s.cfg.Executor.Align(job.ctx, job.seqs, job.Opts)
+		if err == nil {
+			res = &Result{
+				FASTA:     []byte(fasta.FormatString(aln.Seqs)),
+				NumSeqs:   aln.NumSeqs(),
+				Width:     aln.Width(),
+				Procs:     rep.Procs,
+				BytesSent: rep.BytesSent,
+				BytesRecv: rep.BytesRecv,
+			}
+		}
+	}
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.seqs = nil // the input is dead weight once aligned
+	elapsed := job.finished.Sub(job.started)
+	switch {
+	case err == nil:
+		res.Elapsed = elapsed
+		job.state = StateDone
+		// With caching on, the job record keeps only the summary and
+		// the payload lives in the cache, whose entry/byte bounds then
+		// actually bound result memory; up to MaxJobs pinned payloads
+		// would bypass them. With caching off the job is the only home
+		// the payload has.
+		if s.cache.Enabled() {
+			job.result = summaryOf(res)
+		} else {
+			job.result = res
+		}
+	case wasCanceled(job.ctx, err):
+		job.state = StateCanceled
+		job.err = cancelCause(job.ctx, err)
+	default:
+		job.state = StateFailed
+		job.err = err
+	}
+	state := job.state
+	job.mu.Unlock()
+	job.cancel(nil) // release the deadline timer
+	close(job.done)
+
+	s.metrics.RunSeconds.Observe(elapsed.Seconds())
+	switch state {
+	case StateDone:
+		s.cache.Put(job.Key, res)
+		s.metrics.Completed.Inc()
+	case StateCanceled:
+		s.metrics.Canceled.Inc()
+	default:
+		s.metrics.Failed.Inc()
+	}
+}
+
+// wasCanceled decides whether err is the job's own cancellation (vs. a
+// genuine alignment failure).
+func wasCanceled(ctx context.Context, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	// Executors surface cancellation in transport-specific clothing
+	// (closed communicators, peer-death); trust the context's verdict.
+	return ctx.Err() != nil
+}
+
+// cancelCause prefers the recorded cancellation cause over the bare
+// context error, so status reports say *why* ("client disconnected",
+// "job deadline (2s) exceeded") rather than just "context canceled".
+func cancelCause(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	if err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// QueueStats is the health endpoint's view of the pool.
+type QueueStats struct {
+	Queued        int   `json:"queued"`
+	Active        int   `json:"active"`
+	MaxQueued     int   `json:"max_queued"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	Jobs          int   `json:"jobs_tracked"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheBytes    int64 `json:"cache_bytes"`
+}
+
+// Stats snapshots the queue.
+func (s *Server) Stats() QueueStats {
+	s.mu.Lock()
+	q, a, n := s.queued, s.active, len(s.jobs)
+	s.mu.Unlock()
+	return QueueStats{
+		Queued:        q,
+		Active:        a,
+		MaxQueued:     s.cfg.MaxQueued,
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		Jobs:          n,
+		CacheEntries:  s.cache.Len(),
+		CacheBytes:    s.cache.Bytes(),
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+)
+
+// WorkerConfig configures one cluster worker daemon.
+type WorkerConfig struct {
+	CtrlAddr string // control listen address (coordinator dials this)
+	MeshAddr string // fixed rank mesh listen address, advertised per job
+	Logf     func(format string, args ...any)
+}
+
+// RunWorker serves cluster jobs until ctx is cancelled: accept one
+// control connection, run one rank, repeat. Jobs are strictly serial —
+// the mesh address is fixed — so a worker is claimed for the duration
+// of a job; admission control belongs to the coordinator.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.MeshAddr == "" {
+		return fmt.Errorf("serve: worker needs a mesh address")
+	}
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", cfg.CtrlAddr)
+	if err != nil {
+		return fmt.Errorf("serve: worker listen %s: %w", cfg.CtrlAddr, err)
+	}
+	defer ln.Close()
+	go func() {
+		<-ctx.Done()
+		ln.Close() // unblock Accept
+	}()
+	cfg.Logf("worker: control on %s, mesh on %s", ln.Addr(), cfg.MeshAddr)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("serve: worker accept: %w", err)
+		}
+		if err := handleWorkerJob(ctx, conn, cfg); err != nil && ctx.Err() == nil {
+			cfg.Logf("worker: job failed: %v", err)
+		}
+	}
+}
+
+// handleWorkerJob runs one job's rank over the given control
+// connection. The returned error is also reported to the coordinator in
+// the final ack when the connection still works.
+func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var prep prepareMsg
+	if err := dec.Decode(&prep); err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+	if prep.Proto != clusterProto {
+		enc.Encode(helloMsg{Error: fmt.Sprintf("unsupported protocol %d (want %d)", prep.Proto, clusterProto)})
+		return fmt.Errorf("unsupported protocol %d", prep.Proto)
+	}
+	if err := enc.Encode(helloMsg{Mesh: cfg.MeshAddr}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	// The spec carries the rank's whole FASTA shard; give a large
+	// transfer more room than the prepare handshake while still not
+	// trusting a hung coordinator forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+	var spec jobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	shard, err := fasta.Read(strings.NewReader(spec.FASTA))
+	if err != nil {
+		enc.Encode(jobAck{Error: fmt.Sprintf("parsing shard: %v", err)})
+		return fmt.Errorf("parsing shard: %w", err)
+	}
+	cfg.Logf("worker: job rank %d/%d, %d local sequences", spec.Rank, len(spec.Addrs), len(shard))
+
+	// The control connection doubles as the cancellation channel: the
+	// coordinator closing it (job cancelled, coordinator died) cancels
+	// this rank, which unwinds its collectives via the mpi context
+	// plumbing and frees the mesh port for the next job.
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchDone := make(chan struct{})
+	// Unblock the reader (it sits in conn.Read) before waiting for it;
+	// double-closing conn is harmless and the outer defer still covers
+	// early returns above.
+	defer func() { conn.Close(); <-watchDone }()
+	go func() {
+		defer close(watchDone)
+		var one [1]byte
+		conn.Read(one[:]) // blocks until EOF/reset (no payload is expected)
+		cancel()
+	}()
+
+	comm, err := mpi.DialTCPContext(jobCtx, mpi.TCPConfig{Rank: spec.Rank, Addrs: spec.Addrs})
+	if err != nil {
+		enc.Encode(jobAck{Error: fmt.Sprintf("mesh: %v", err)})
+		return fmt.Errorf("mesh: %w", err)
+	}
+	commWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-jobCtx.Done():
+			comm.Close()
+		case <-commWatch:
+		}
+	}()
+	_, _, runErr := core.AlignContext(jobCtx, comm, shard, spec.Options.CoreConfig())
+	close(commWatch)
+	comm.Close()
+	if runErr != nil {
+		enc.Encode(jobAck{Error: runErr.Error()})
+		return fmt.Errorf("rank %d: %w", spec.Rank, runErr)
+	}
+	cfg.Logf("worker: job rank %d done", spec.Rank)
+	return enc.Encode(jobAck{OK: true})
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a goroutine-safe monotonically increasing counter, the
+// unit of the job service's /metrics endpoint.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (delta < 0 is a programming error and is ignored).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// LatencyHistogram is a goroutine-safe fixed-bucket histogram of
+// durations (in seconds). Buckets are cumulative in the exposition
+// (Prometheus "le" convention): bucket i counts observations ≤
+// Bounds[i], with a final implicit +Inf bucket. The zero value is not
+// usable; construct with NewLatencyHistogram.
+type LatencyHistogram struct {
+	bounds []float64 // strictly increasing upper bounds, seconds
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; counts[len(bounds)] is +Inf
+	sum    float64
+	total  uint64
+}
+
+// DefaultLatencyBounds covers request latencies from 1 ms to ~4 min in
+// roughly 4× steps — wide enough for both cache hits and full
+// alignments.
+func DefaultLatencyBounds() []float64 {
+	return []float64{0.001, 0.004, 0.016, 0.064, 0.25, 1, 4, 16, 64, 256}
+}
+
+// NewLatencyHistogram builds a histogram over the given strictly
+// increasing upper bounds (seconds). An empty or unsorted bounds slice
+// is rejected.
+func NewLatencyHistogram(bounds []float64) (*LatencyHistogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds not strictly increasing at %d (%g after %g)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	return &LatencyHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// MustLatencyHistogram is NewLatencyHistogram that panics on bad bounds;
+// for package-level metric construction with literal bounds.
+func MustLatencyHistogram(bounds []float64) *LatencyHistogram {
+	h, err := NewLatencyHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one observation of d seconds. NaN is ignored;
+// negative values count into the first bucket.
+func (h *LatencyHistogram) Observe(d float64) {
+	if math.IsNaN(d) {
+		return
+	}
+	// Binary search for the first bound >= d; linear would do for ~10
+	// buckets, but the invariant (sorted bounds) makes this free.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.mu.Lock()
+	h.counts[lo]++
+	h.sum += d
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent point-in-time copy of a
+// LatencyHistogram.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, seconds (the +Inf bucket is implicit)
+	Counts     []uint64  // per-bucket (non-cumulative) counts, len(Bounds)+1
+	Sum        float64   // sum of all observations, seconds
+	Total      uint64    // number of observations
+	Cumulative []uint64  // cumulative counts aligned with Bounds, plus +Inf last
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *LatencyHistogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	cum := make([]uint64, len(counts))
+	var run uint64
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	return HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Counts:     counts,
+		Sum:        sum,
+		Total:      total,
+		Cumulative: cum,
+	}
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// inside the containing bucket, taking the first bound as the scale of
+// the lowest bucket and the last finite bound for the +Inf bucket.
+// Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Total)
+	for i, c := range s.Cumulative {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: no upper bound to interpolate to
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		var below uint64
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			below = s.Cumulative[i-1]
+		}
+		width := s.Bounds[i] - lo
+		inBucket := float64(c - below)
+		if inBucket == 0 {
+			return s.Bounds[i]
+		}
+		return lo + width*(target-float64(below))/inBucket
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WritePrometheus renders the histogram in Prometheus text exposition
+// format under the given metric name (no labels).
+func (s HistogramSnapshot) WritePrometheus(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, bound, s.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Total)
+	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Total)
+}

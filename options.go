@@ -4,10 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/bio"
-	"repro/internal/cons"
 	"repro/internal/core"
+	"repro/internal/engines"
 	"repro/internal/kmer"
-	"repro/internal/mafft"
 	"repro/internal/msa"
 )
 
@@ -126,25 +125,15 @@ func WithFullAlphabet() Option {
 
 // NewAligner builds one of the built-in sequential MSA pipelines by name
 // (see SequentialAligners). Useful both standalone and via
-// WithLocalAligner.
+// WithLocalAligner. The registry itself lives in internal/engines so the
+// job server can resolve request aligner names through the same table.
 func NewAligner(name string, workers int) (msa.Aligner, error) {
-	switch name {
-	case "muscle":
-		return msa.MuscleLike(workers), nil
-	case "muscle-refined":
-		return msa.MuscleLikeRefined(workers, 2), nil
-	case "clustal":
-		return msa.ClustalLike(workers), nil
-	case "tcoffee":
-		return cons.New(workers), nil
-	case "fftnsi":
-		return mafft.NewFFTNSI(workers), nil
-	case "nwnsi":
-		return mafft.NewNWNSI(workers), nil
-	default:
+	al, err := engines.New(name, workers)
+	if err != nil {
 		return nil, fmt.Errorf("samplealign: unknown aligner %q (have %v)",
 			name, SequentialAligners())
 	}
+	return al, nil
 }
 
 // WithLocalAligner selects the sequential MSA pipeline run inside each
@@ -155,7 +144,7 @@ func WithLocalAligner(name string) Option {
 			return err
 		}
 		s.cfg.NewLocalAligner = func(workers int) msa.Aligner {
-			al, _ := NewAligner(name, workers)
+			al, _ := engines.New(name, workers)
 			return al
 		}
 		return nil

@@ -9,6 +9,9 @@
 // MSA pipeline, and reconciling the buckets through a global ancestor
 // profile. Ranks can be in-process goroutines (Align) or separate
 // processes connected over TCP (AlignTCP / the samplealignd daemon).
+// For continuous workloads the same pipeline runs behind a long-lived
+// HTTP job service (NewServer / the samplealignsrv daemon) with
+// queueing, backpressure and content-addressed result caching.
 //
 // Quick start:
 //
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/core"
+	"repro/internal/engines"
 	"repro/internal/fasta"
 	"repro/internal/mpi"
 	"repro/internal/msa"
@@ -165,10 +169,9 @@ func AlignTCPContext(ctx context.Context, tcpCfg TCPRankConfig, local []Sequence
 }
 
 // SequentialAligners lists the built-in sequential MSA pipelines by name,
-// usable with WithLocalAligner and as standalone aligners via NewAligner.
-func SequentialAligners() []string {
-	return []string{"muscle", "muscle-refined", "clustal", "tcoffee", "fftnsi", "nwnsi"}
-}
+// usable with WithLocalAligner, as standalone aligners via NewAligner,
+// and as the "aligner" field of HTTP job requests (see NewServer).
+func SequentialAligners() []string { return engines.Names() }
 
 // QScore computes the PREFAB accuracy measure of a test alignment
 // against a reference alignment (rows matched by ID; the reference may

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the HTTP job service: start samplealignsrv,
+# submit a small FASTA over HTTP, poll to completion, fetch the result
+# and diff it byte-for-byte against the samplealign batch CLI on the
+# same input and options. Also checks the content-addressed cache
+# (identical resubmission answered instantly) and overload behaviour.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=${WORK:-$(mktemp -d)}
+PORT=${PORT:-18080}
+BASE="http://127.0.0.1:$PORT"
+
+echo "== build =="
+go build -o "$WORK/" ./cmd/samplealign ./cmd/samplealignsrv ./cmd/seqgen
+
+echo "== input + batch reference =="
+"$WORK/seqgen" -kind family -n 80 -len 100 -out "$WORK/in.fa"
+"$WORK/samplealign" -in "$WORK/in.fa" -p 3 -out "$WORK/batch.fa"
+
+echo "== start server =="
+"$WORK/samplealignsrv" -addr "127.0.0.1:$PORT" -p 3 2>"$WORK/srv.log" &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true; wait $SRV 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+json_field() { # json_field <field> — first string value of "field"
+  sed -n "s/.*\"$1\": *\"\([^\"]*\)\".*/\1/p" | head -1
+}
+
+echo "== submit =="
+SUBMIT=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/jobs?procs=3")
+ID=$(echo "$SUBMIT" | json_field id)
+[ -n "$ID" ] || { echo "no job id in: $SUBMIT"; exit 1; }
+echo "job $ID"
+
+echo "== poll =="
+for _ in $(seq 1 600); do
+  STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field state)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "job ended $STATE"; curl -fsS "$BASE/v1/jobs/$ID"; exit 1 ;;
+    *) sleep 0.1 ;;
+  esac
+done
+[ "$STATE" = done ] || { echo "job stuck in $STATE"; exit 1; }
+
+echo "== fetch + diff against batch CLI =="
+curl -fsS "$BASE/v1/jobs/$ID/result" -o "$WORK/http.fa"
+diff "$WORK/batch.fa" "$WORK/http.fa"
+echo "byte-identical to samplealign output"
+
+echo "== cache: identical resubmission is served instantly =="
+RESUBMIT=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/jobs?procs=3")
+echo "$RESUBMIT" | grep -q '"cached": true' || { echo "resubmission missed the cache: $RESUBMIT"; exit 1; }
+echo "$RESUBMIT" | grep -q '"state": "done"' || { echo "cached job not done: $RESUBMIT"; exit 1; }
+
+echo "== sync endpoint =="
+curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/align?procs=3" -o "$WORK/sync.fa"
+diff "$WORK/batch.fa" "$WORK/sync.fa"
+
+echo "== metrics sanity =="
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^samplealign_cache_hits_total [1-9]' || { echo "no cache hits recorded"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_jobs_completed_total' || { echo "no completion counter"; exit 1; }
+
+echo "server smoke OK"

@@ -1,0 +1,127 @@
+package samplealign
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ServerConfig configures the alignment job service (see NewServer).
+// The zero value serves in-process alignments with 2 concurrent jobs,
+// a 64-job queue and a 256-entry / 64 MiB result cache.
+type ServerConfig struct {
+	// Default options applied to requests that omit them.
+	DefaultProcs   int    // ranks per job (default 4)
+	DefaultWorkers int    // shared-memory workers per rank (default 1)
+	DefaultAligner string // bucket aligner name (default "muscle")
+
+	// Admission control and per-job resource bounds.
+	MaxConcurrent int // jobs aligning at once (default 2)
+	MaxQueued     int // jobs waiting beyond the running ones (default 64);
+	//                   submissions past this get 429
+	MaxProcs     int // reject requests asking for more ranks (0 = no cap)
+	WorkerBudget int // clamp procs×workers per job (0 = no cap)
+
+	// Content-addressed result cache (identical input + options are
+	// answered without re-running the alignment).
+	CacheEntries int   // entry bound (default 256; -1 disables)
+	CacheBytes   int64 // byte bound (default 64 MiB; -1 unbounded)
+
+	// Optional TCP rank cluster: when Workers lists samplealignd
+	// worker daemons (their -worker-ctrl addresses), jobs fan out to
+	// them with this server as rank 0, listening on ClusterSelf for
+	// the per-job rank mesh.
+	ClusterWorkers []string
+	ClusterSelf    string
+}
+
+// Server is a long-running alignment job service: a bounded async
+// queue with admission control in front of the Sample-Align-D
+// pipeline, plus a content-addressed result cache. Obtain the HTTP API
+// with Handler and serve it with any http.Server; Close drains it.
+type Server struct{ inner *serve.Server }
+
+// NewServer builds and starts a job service (its worker pool runs until
+// Close). See ServerConfig for the knobs and Handler for the API.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DefaultAligner != "" {
+		if _, err := NewAligner(cfg.DefaultAligner, 1); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.ClusterWorkers) > 0 && cfg.ClusterSelf == "" {
+		return nil, errors.New("samplealign: cluster mode needs a rank-0 mesh address (ClusterSelf)")
+	}
+	sc := serve.Config{
+		Defaults: serve.Options{
+			Procs:   cfg.DefaultProcs,
+			Workers: cfg.DefaultWorkers,
+			Aligner: cfg.DefaultAligner,
+		},
+		Limits: serve.Limits{
+			MaxProcs:     cfg.MaxProcs,
+			WorkerBudget: cfg.WorkerBudget,
+		},
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueued:     cfg.MaxQueued,
+		CacheEntries:  cfg.CacheEntries,
+		CacheBytes:    cfg.CacheBytes,
+	}
+	if len(cfg.ClusterWorkers) > 0 {
+		sc.Executor = &serve.Cluster{Workers: cfg.ClusterWorkers, SelfAddr: cfg.ClusterSelf}
+		// Cluster jobs are serialized (fixed per-worker mesh ports), so
+		// extra concurrency would only park jobs on the executor mutex.
+		sc.MaxConcurrent = 1
+	}
+	return &Server{inner: serve.New(sc)}, nil
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs             submit (async) → 202 + job status JSON
+//	GET    /v1/jobs/{id}        status
+//	GET    /v1/jobs/{id}/result aligned FASTA
+//	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/align            submit + wait; disconnect cancels the job
+//	GET    /healthz             liveness + queue stats
+//	GET    /metrics             Prometheus text metrics
+//
+// Submit bodies are raw FASTA (plain or gzip) with options as query
+// parameters, or JSON {"fasta": "...", "options": {...}}.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Close cancels all queued and running jobs and waits for the pool to
+// drain.
+func (s *Server) Close() { s.inner.Close() }
+
+// ListenAndServe runs the job service on addr until ctx is cancelled,
+// then shuts the HTTP listener down gracefully and drains the job pool.
+func ListenAndServe(ctx context.Context, addr string, cfg ServerConfig) error {
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+		<-errCh // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}
