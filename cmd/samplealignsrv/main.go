@@ -18,6 +18,13 @@
 //
 //	curl -s --data-binary @seqs.fa localhost:8080/v1/align
 //
+// With -data-dir the server is durable: accepted jobs are journaled
+// before they run and results are persisted content-addressed on disk,
+// so a restart re-enqueues unfinished jobs, keeps finished ones
+// visible, and serves their results from disk without recomputing:
+//
+//	samplealignsrv -addr :8080 -data-dir /var/lib/samplealign
+//
 // With -cluster, jobs fan out over a pre-connected TCP rank cluster of
 // samplealignd worker daemons instead of in-process ranks:
 //
@@ -35,6 +42,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	samplealign "repro"
 )
@@ -51,6 +59,10 @@ func main() {
 	workerBudget := flag.Int("worker-budget", 0, "clamp procs*workers per job (0 = no cap)")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache entry bound (-1 disables)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache byte bound (-1 unbounded)")
+	dataDir := flag.String("data-dir", "", "durability directory: write-ahead job journal + on-disk result store (empty = in-memory only)")
+	storeEntries := flag.Int("store-entries", 4096, "on-disk result store entry bound (-1 disables the disk tier)")
+	storeBytes := flag.Int64("store-bytes", 1<<30, "on-disk result store byte bound (-1 unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM/SIGINT waits for running jobs before hard-canceling (<0 skips draining)")
 	cluster := flag.String("cluster", "", "comma-separated worker control addresses (samplealignd -worker-ctrl); empty = in-process ranks")
 	clusterSelf := flag.String("cluster-self", "", "this server's rank-0 mesh listen address (required with -cluster)")
 	flag.Parse()
@@ -65,7 +77,14 @@ func main() {
 		WorkerBudget:   *workerBudget,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
+		DataDir:        *dataDir,
+		StoreEntries:   *storeEntries,
+		StoreBytes:     *storeBytes,
+		DrainTimeout:   *drainTimeout,
 		ClusterSelf:    *clusterSelf,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "samplealignsrv: "+format+"\n", args...)
+		},
 	}
 	for _, w := range strings.Split(*cluster, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -75,13 +94,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	srv, err := samplealign.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samplealignsrv:", err)
+		os.Exit(1)
+	}
+	if rec := srv.Recovery(); rec.Enabled {
+		fmt.Fprintf(os.Stderr,
+			"samplealignsrv: recovery from %s: %d journal records, %d finished jobs restored, %d re-enqueued (clean shutdown: %v)\n",
+			*dataDir, rec.JournalRecords, rec.Finished, rec.Requeued, rec.CleanShutdown)
+	}
 	mode := "in-process ranks"
 	if len(cfg.ClusterWorkers) > 0 {
 		mode = fmt.Sprintf("TCP cluster of %d workers", len(cfg.ClusterWorkers))
 	}
 	fmt.Fprintf(os.Stderr, "samplealignsrv: listening on %s (%s, default p=%d, aligner %s)\n",
 		*addr, mode, *procs, *aligner)
-	if err := samplealign.ListenAndServe(ctx, *addr, cfg); err != nil {
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "samplealignsrv:", err)
 		os.Exit(1)
 	}

@@ -1,7 +1,9 @@
-// Embedded job server: run the alignment service in-process, submit a
-// job over HTTP, poll it to completion, fetch the result, and show the
-// content-addressed cache answering an identical resubmission
-// instantly. Run with:
+// Embedded job server with durability: run the alignment service
+// in-process with a data directory, submit a job over HTTP, poll it to
+// completion, fetch the result, show the content-addressed cache
+// answering an identical resubmission instantly — then restart the
+// server on the same data directory and show the finished job and its
+// result surviving, served from disk without recomputing. Run with:
 //
 //	go run ./examples/server
 package main
@@ -13,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"time"
 
@@ -22,17 +25,24 @@ import (
 func main() {
 	// The same ServerConfig drives cmd/samplealignsrv; embedded here so
 	// the example is self-contained (httptest stands in for a listener).
-	srv, err := samplealign.NewServer(samplealign.ServerConfig{
-		DefaultProcs:  2,
-		MaxConcurrent: 2,
-		MaxQueued:     16,
-	})
+	// DataDir enables the write-ahead journal and the on-disk result
+	// store — a restart on the same directory recovers everything.
+	dataDir, err := os.MkdirTemp("", "samplealign-server-example")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	defer os.RemoveAll(dataDir)
+	cfg := samplealign.ServerConfig{
+		DefaultProcs:  2,
+		MaxConcurrent: 2,
+		MaxQueued:     16,
+		DataDir:       dataDir,
+	}
+	srv, err := samplealign.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
 
 	fasta := strings.Join([]string{
 		">orthologA", "MKVLITGAGSGIGLAIAKRFAEEGA",
@@ -88,6 +98,30 @@ func main() {
 	}
 	decode(resp2, &again)
 	fmt.Printf("resubmission: state %s, cached %v\n", again.State, again.Cached)
+
+	// "Restart": close this server and open a fresh one on the same
+	// DataDir. The journal replay restores the finished job, and its
+	// result streams straight from the on-disk store — nothing re-runs.
+	ts.Close()
+	srv.Close()
+	srv2, err := samplealign.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv2.Close()
+	rec := srv2.Recovery()
+	fmt.Printf("after restart: %d journal records, %d finished restored, %d re-enqueued (clean shutdown: %v)\n",
+		rec.JournalRecords, rec.Finished, rec.Requeued, rec.CleanShutdown)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	r2, err := http.Get(ts2.URL + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	fmt.Printf("result after restart (status %d, streamed from disk): identical = %v\n",
+		r2.StatusCode, string(recovered) == string(aligned))
 }
 
 func decode(resp *http.Response, v any) {

@@ -243,12 +243,21 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, state, err := job.resultIfDone()
 	switch state {
 	case StateDone:
-		payload, ok := s.resultPayload(job, res)
-		if !ok {
-			writeError(w, http.StatusGone, "result evicted from the cache; resubmit the job")
+		// Serve straight from the job record or the memory cache when
+		// the payload is already resident; otherwise stream it from the
+		// disk store so peak memory never scales with alignment size.
+		if res != nil && res.FASTA != nil {
+			writeFASTA(w, job, res.FASTA)
 			return
 		}
-		writeFASTA(w, job, payload)
+		if cres, ok := s.cache.Get(job.Key); ok {
+			writeFASTA(w, job, cres.FASTA)
+			return
+		}
+		if s.streamResult(w, job) {
+			return
+		}
+		writeError(w, http.StatusGone, "result evicted from the cache; resubmit the job")
 	case StateFailed:
 		writeError(w, http.StatusInternalServerError, "job failed: %v", err)
 	case StateCanceled:
@@ -257,6 +266,52 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusConflict, "job is %s; retry later", state)
 	}
+}
+
+// streamResult serves a done job's payload directly from the on-disk
+// store via chunked transfer: no Content-Length, a small copy buffer,
+// checksum verified as the bytes flow. A corrupt file aborts the
+// response mid-stream (the client sees a truncated chunked body, never
+// a clean EOF over bad data).
+func (s *Server) streamResult(w http.ResponseWriter, job *Job) bool {
+	if s.results == nil {
+		return false
+	}
+	_, rc, _, ok := s.results.Open(job.Key)
+	if !ok {
+		return false
+	}
+	defer rc.Close()
+	writeFASTAHeaders(w, job)
+	w.WriteHeader(http.StatusOK)
+	// Commit the header now: with no Content-Length this locks the
+	// response into chunked transfer, so nothing below ever buffers the
+	// whole payload (net/http would otherwise synthesize a length for
+	// small bodies).
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	// Copy by hand so read-side failures (corruption, disk faults) are
+	// distinguishable from the client going away: the former must abort
+	// the response — a chunked body must never terminate cleanly over
+	// bad or truncated data — while the latter just ends the work.
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return true // client went away mid-stream
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	s.metrics.Streamed.Inc()
+	return true
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -306,7 +361,7 @@ func (s *Server) handleAlignSync(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeFASTA(w http.ResponseWriter, job *Job, payload []byte) {
+func writeFASTAHeaders(w http.ResponseWriter, job *Job) {
 	w.Header().Set("Content-Type", "text/x-fasta; charset=utf-8")
 	w.Header().Set("X-Job-Id", job.ID)
 	w.Header().Set("X-Cache-Key", job.Key)
@@ -315,21 +370,45 @@ func writeFASTA(w http.ResponseWriter, job *Job, payload []byte) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+}
+
+func writeFASTA(w http.ResponseWriter, job *Job, payload []byte) {
+	writeFASTAHeaders(w, job)
 	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(payload)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"executor": s.cfg.Executor.Name(),
 		"uptime_s": int64(time.Since(s.started).Seconds()),
 		"queue":    s.Stats(),
-	})
+	}
+	if rec := s.Recovery(); rec.Enabled {
+		body["persistence"] = map[string]any{
+			"data_dir": s.cfg.DataDir,
+			"recovery": rec,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var persist *PersistGauges
+	if s.journal != nil || s.results != nil {
+		persist = &PersistGauges{}
+		if s.results != nil {
+			persist.StoreEntries = int64(s.results.Len())
+			persist.StoreBytes = s.results.Bytes()
+			persist.StoreEvictions = s.results.Evictions()
+		}
+		if s.journal != nil {
+			persist.JournalRecords = s.journal.Records()
+			persist.JournalBytes = s.journal.Bytes()
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.metrics.Render(s.Stats(), s.cache.Evictions()))
+	io.WriteString(w, s.metrics.Render(s.Stats(), s.cache.Evictions(), persist))
 }

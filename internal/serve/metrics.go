@@ -15,8 +15,13 @@ type Metrics struct {
 	Failed      stats.Counter
 	Canceled    stats.Counter
 	Rejected    stats.Counter // admission-control 429s
-	CacheHits   stats.Counter
-	CacheMisses stats.Counter
+	CacheHits   stats.Counter // submissions answered from a cache tier
+	CacheMisses stats.Counter // submissions that started a new computation
+	Coalesced   stats.Counter // submissions attached to an identical in-flight job
+	StoreHits   stats.Counter // cache hits served by the disk tier
+	Streamed    stats.Counter // results streamed from the disk store
+	Recovered   stats.Counter // jobs re-enqueued by journal replay at boot
+	Draining    stats.Gauge   // 1 while the server refuses new submissions to drain
 
 	QueueWait  *stats.LatencyHistogram // seconds from submit to execution start
 	RunSeconds *stats.LatencyHistogram // execution wall-clock
@@ -30,9 +35,19 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Render writes the Prometheus text exposition, folding in the queue
-// and cache gauges sampled at call time.
-func (m *Metrics) Render(q QueueStats, evictions int64) string {
+// PersistGauges are the durability-layer gauges sampled at render time;
+// nil sections are omitted from the exposition (no DataDir configured).
+type PersistGauges struct {
+	StoreEntries   int64
+	StoreBytes     int64
+	StoreEvictions int64
+	JournalRecords int64
+	JournalBytes   int64
+}
+
+// Render writes the Prometheus text exposition, folding in the queue,
+// cache and persistence gauges sampled at call time.
+func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) string {
 	var b strings.Builder
 	counter := func(name, help string, v int64) {
 		b.WriteString("# HELP " + name + " " + help + "\n")
@@ -49,13 +64,25 @@ func (m *Metrics) Render(q QueueStats, evictions int64) string {
 	counter("samplealign_jobs_failed_total", "Jobs finished with an error.", m.Failed.Value())
 	counter("samplealign_jobs_canceled_total", "Jobs canceled by caller, deadline or disconnect.", m.Canceled.Value())
 	counter("samplealign_jobs_rejected_total", "Submissions rejected by admission control (429).", m.Rejected.Value())
-	counter("samplealign_cache_hits_total", "Submissions answered from the result cache.", m.CacheHits.Value())
-	counter("samplealign_cache_misses_total", "Submissions that had to run.", m.CacheMisses.Value())
-	counter("samplealign_cache_evictions_total", "Results evicted from the cache.", evictions)
-	gauge("samplealign_queue_depth", "Jobs admitted and waiting.", int64(q.Queued))
-	gauge("samplealign_jobs_running", "Jobs currently executing.", int64(q.Active))
-	gauge("samplealign_cache_entries", "Results held in the cache.", int64(q.CacheEntries))
-	gauge("samplealign_cache_bytes", "FASTA bytes held in the cache.", q.CacheBytes)
+	counter("samplealign_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.Coalesced.Value())
+	counter("samplealign_jobs_recovered_total", "Jobs re-enqueued by journal replay at startup.", m.Recovered.Value())
+	counter("samplealign_cache_hits_total", "Submissions answered from the result cache tiers.", m.CacheHits.Value())
+	counter("samplealign_cache_misses_total", "Submissions that started a new computation.", m.CacheMisses.Value())
+	counter("samplealign_cache_evictions_total", "Results evicted from the in-memory cache.", evictions)
+	counter("samplealign_store_hits_total", "Cache hits served by the on-disk result store.", m.StoreHits.Value())
+	counter("samplealign_results_streamed_total", "Results streamed to clients from the on-disk store.", m.Streamed.Value())
+	gauge("samplealign_queue_depth", "Flights admitted and waiting.", int64(q.Queued))
+	gauge("samplealign_jobs_running", "Flights currently executing.", int64(q.Active))
+	gauge("samplealign_draining", "1 while the server refuses new submissions to drain.", m.Draining.Value())
+	gauge("samplealign_cache_entries", "Results held in the in-memory cache.", int64(q.CacheEntries))
+	gauge("samplealign_cache_bytes", "FASTA bytes held in the in-memory cache.", q.CacheBytes)
+	if persist != nil {
+		gauge("samplealign_store_entries", "Results held in the on-disk store.", persist.StoreEntries)
+		gauge("samplealign_store_bytes", "FASTA bytes held in the on-disk store.", persist.StoreBytes)
+		counter("samplealign_store_evictions_total", "Results evicted from the on-disk store.", persist.StoreEvictions)
+		gauge("samplealign_journal_records", "Records in the write-ahead journal.", persist.JournalRecords)
+		gauge("samplealign_journal_bytes", "Size of the write-ahead journal.", persist.JournalBytes)
+	}
 	m.QueueWait.Snapshot().WritePrometheus(&b, "samplealign_job_queue_wait_seconds")
 	m.RunSeconds.Snapshot().WritePrometheus(&b, "samplealign_job_run_seconds")
 	return b.String()

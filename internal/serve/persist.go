@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/fasta"
+	"repro/internal/store"
+)
+
+// This file is the glue between the job service and the store package:
+// what goes into journal records, how a result is laid out on disk,
+// and how a journal replay is folded back into server state.
+//
+// Journal schema (store.Record.Data by record type):
+//
+//	submit  submitData — resolved options, input FASTA (omitted for
+//	        cache-hit submissions, which carry a finish record in the
+//	        same breath and are never re-run)
+//	start   (no data) — the flight began executing
+//	finish  finishData — terminal state done/failed + result summary
+//	cancel  finishData — terminal state canceled + cause
+//	shutdown (no data) — clean server Close
+//
+// Replay: a submit with no terminal record is re-enqueued (its FASTA
+// is the input); one with a terminal record becomes a visible finished
+// job. On open the journal is compacted: finished jobs keep only a
+// FASTA-less submit + their terminal record, pruned beyond MaxJobs.
+
+// submitData is the submit record payload.
+type submitData struct {
+	Opts      Resolved `json:"opts"`
+	NumSeqs   int      `json:"num_seqs"`
+	FASTA     []byte   `json:"fasta,omitempty"`
+	Cached    bool     `json:"cached,omitempty"`
+	Coalesced bool     `json:"coalesced,omitempty"`
+	Recovered bool     `json:"recovered,omitempty"`
+}
+
+// finishData is the finish/cancel record payload.
+type finishData struct {
+	State   State       `json:"state"`
+	Error   string      `json:"error,omitempty"`
+	Summary *resultMeta `json:"summary,omitempty"`
+}
+
+// resultMeta is the result summary persisted in finish records and as
+// the meta block of on-disk result files.
+type resultMeta struct {
+	NumSeqs   int   `json:"num_seqs"`
+	Width     int   `json:"width"`
+	Procs     int   `json:"procs"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+func metaOf(res *Result) *resultMeta {
+	if res == nil {
+		return nil
+	}
+	return &resultMeta{
+		NumSeqs:   res.NumSeqs,
+		Width:     res.Width,
+		Procs:     res.Procs,
+		BytesSent: res.BytesSent,
+		BytesRecv: res.BytesRecv,
+		ElapsedNs: int64(res.Elapsed),
+	}
+}
+
+func (m *resultMeta) result(payload []byte) *Result {
+	return &Result{
+		FASTA:     payload,
+		NumSeqs:   m.NumSeqs,
+		Width:     m.Width,
+		Procs:     m.Procs,
+		BytesSent: m.BytesSent,
+		BytesRecv: m.BytesRecv,
+		Elapsed:   time.Duration(m.ElapsedNs),
+	}
+}
+
+// resultFromMeta decodes a disk-store meta block back into a Result.
+func resultFromMeta(meta, payload []byte) (*Result, error) {
+	var m resultMeta
+	if err := json.Unmarshal(meta, &m); err != nil {
+		return nil, err
+	}
+	return m.result(payload), nil
+}
+
+// RecoveryInfo summarises what a journal replay reconstructed.
+type RecoveryInfo struct {
+	Enabled        bool `json:"enabled"`
+	JournalRecords int  `json:"journal_records"` // intact records replayed
+	Finished       int  `json:"finished"`        // terminal jobs restored to the job table
+	Requeued       int  `json:"requeued"`        // unfinished jobs re-enqueued
+	CleanShutdown  bool `json:"clean_shutdown"`  // previous process closed cleanly
+}
+
+// Recovery reports what startup replay found. Zero value (Enabled
+// false) without a DataDir.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// openPersistence locks the data directory, opens the result store and
+// the journal, replays the journal into server state and compacts it.
+// Called from New before any dispatcher starts, so replay never races
+// a live submission.
+func (s *Server) openPersistence() error {
+	dir := s.cfg.DataDir
+	unlock, err := store.LockDir(dir)
+	if err != nil {
+		return err
+	}
+	s.unlockDir = unlock
+	if s.cfg.StoreEntries >= 0 { // -1 disables the disk result tier
+		maxBytes := s.cfg.StoreBytes
+		if maxBytes < 0 {
+			maxBytes = 0 // store: <= 0 means unbounded
+		}
+		s.results, err = store.OpenResults(filepath.Join(dir, "results"), s.cfg.StoreEntries, maxBytes)
+		if err != nil {
+			s.unlockDir()
+			s.unlockDir = nil
+			return fmt.Errorf("serve: opening result store: %w", err)
+		}
+	}
+	journal, recs, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		s.unlockDir()
+		s.unlockDir = nil
+		return fmt.Errorf("serve: opening journal: %w", err)
+	}
+	s.journal = journal
+	s.recovery.Enabled = true
+	s.recoverFromJournal(recs)
+	return nil
+}
+
+// journalAppend best-effort appends: a journal I/O error degrades
+// durability, not service — it is logged and the job proceeds.
+func (s *Server) journalAppend(rec store.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.logf("serve: journal append (%s %s): %v", rec.Type, rec.Job, err)
+	}
+}
+
+func submitRecord(id, key string, at time.Time, sd submitData) store.Record {
+	data, _ := json.Marshal(sd)
+	return store.Record{Type: store.RecSubmit, Job: id, Key: key, Time: at, Data: data}
+}
+
+func finishRecord(id, key string, state State, errMsg string, summary *resultMeta, at time.Time) store.Record {
+	typ := store.RecFinish
+	if state == StateCanceled {
+		typ = store.RecCancel
+	}
+	data, _ := json.Marshal(finishData{State: state, Error: errMsg, Summary: summary})
+	return store.Record{Type: typ, Job: id, Key: key, Time: at, Data: data}
+}
+
+// journalSubmit makes an accepted job durable: options plus the full
+// input, enough to re-run it from a cold start.
+func (s *Server) journalSubmit(job *Job, seqs []bio.Sequence) {
+	if s.journal == nil {
+		return
+	}
+	sd := submitData{
+		Opts:      job.Opts,
+		NumSeqs:   job.NumSeqs,
+		FASTA:     []byte(fasta.FormatString(seqs)),
+		Coalesced: job.coalesced,
+		Recovered: job.recovered,
+	}
+	s.journalAppend(submitRecord(job.ID, job.Key, job.Submitted, sd))
+}
+
+// journalTerminalJob records a submission that was terminal on arrival
+// (cache/store hit): a FASTA-less submit plus its finish, so the job
+// stays visible after a restart without ever being re-run. The finish
+// record goes first: replay merges records in either order, and a
+// crash between the two appends must leave a terminal half (a lone
+// unfinished submit with no input would be unrunnable), never a
+// "failed" resurrection of a job the client saw succeed.
+func (s *Server) journalTerminalJob(job *Job) {
+	if s.journal == nil {
+		return
+	}
+	job.mu.Lock()
+	summary, finished := metaOf(job.result), job.finished
+	job.mu.Unlock()
+	s.journalAppend(finishRecord(job.ID, job.Key, StateDone, "", summary, finished))
+	s.journalAppend(submitRecord(job.ID, job.Key, job.Submitted,
+		submitData{Opts: job.Opts, NumSeqs: job.NumSeqs, Cached: true}))
+}
+
+// journalFinish records a job's terminal state.
+func (s *Server) journalFinish(id, key string, state State, errMsg string, summary *Result, at time.Time) {
+	if s.journal == nil {
+		return
+	}
+	s.journalAppend(finishRecord(id, key, state, errMsg, metaOf(summary), at))
+}
+
+// storePut persists a finished result content-addressed on disk.
+func (s *Server) storePut(key string, res *Result) {
+	if s.results == nil {
+		return
+	}
+	meta, _ := json.Marshal(metaOf(res))
+	if err := s.results.Put(key, meta, res.FASTA); err != nil {
+		s.logf("serve: persisting result %s: %v", key, err)
+	}
+}
+
+// recoverFromJournal folds replayed records into server state:
+// finished jobs become visible job records, unfinished ones are
+// re-enqueued (coalescing by content address, exactly like live
+// submissions), and the journal is compacted to drop dead payloads.
+// Runs single-threaded from New — no dispatchers, no HTTP yet.
+func (s *Server) recoverFromJournal(recs []store.Record) {
+	type rj struct {
+		id, key   string
+		submitted time.Time
+		sub       *submitData
+		started   time.Time
+		state     State
+		errMsg    string
+		summary   *resultMeta
+		finished  time.Time
+	}
+	var order []*rj
+	byID := make(map[string]*rj)
+	// A job's records usually appear submit → start → finish, but
+	// appends race the server lock, so replay tolerates any order per
+	// job: records merge into one entry keyed by job ID, and a terminal
+	// record wins whenever it arrives.
+	entry := func(rec store.Record) *rj {
+		r := byID[rec.Job]
+		if r == nil {
+			r = &rj{id: rec.Job, key: rec.Key, submitted: rec.Time, state: StateQueued}
+			byID[rec.Job] = r
+			order = append(order, r)
+		}
+		return r
+	}
+	clean := true // an empty journal has nothing to have lost
+	for _, rec := range recs {
+		clean = rec.Type == store.RecShutdown
+		switch rec.Type {
+		case store.RecSubmit:
+			var sd submitData
+			if err := json.Unmarshal(rec.Data, &sd); err != nil {
+				s.logf("serve: recovery: submit record for %s unreadable: %v", rec.Job, err)
+				continue
+			}
+			r := entry(rec)
+			r.sub = &sd
+			r.submitted = rec.Time
+		case store.RecStart:
+			if r := byID[rec.Job]; r != nil && !r.state.Terminal() {
+				r.started = rec.Time
+				r.state = StateRunning
+			}
+		case store.RecFinish, store.RecCancel:
+			var fd finishData
+			if err := json.Unmarshal(rec.Data, &fd); err != nil {
+				s.logf("serve: recovery: finish record for %s unreadable: %v", rec.Job, err)
+				continue
+			}
+			r := entry(rec)
+			r.state = fd.State
+			r.errMsg = fd.Error
+			r.summary = fd.Summary
+			r.finished = rec.Time
+		}
+	}
+	s.recovery.JournalRecords = len(recs)
+	s.recovery.CleanShutdown = clean
+
+	now := time.Now()
+	var pending []*flight
+	flightByKey := make(map[string]*flight)
+	for _, r := range order {
+		if r.sub == nil {
+			// A terminal record whose submit half was torn away by a
+			// crash: nothing to restore or re-run. Non-terminal is
+			// impossible (entries start at a submit or a finish).
+			s.logf("serve: recovery: job %s has no submit record; dropped", r.id)
+			continue
+		}
+		job := &Job{
+			ID:        r.id,
+			Key:       r.key,
+			Opts:      r.sub.Opts,
+			Submitted: r.submitted,
+			NumSeqs:   r.sub.NumSeqs,
+			done:      make(chan struct{}),
+		}
+		job.cached = r.sub.Cached
+		job.coalesced = r.sub.Coalesced
+
+		finalize := func(state State, errMsg string, summary *resultMeta, started, finished time.Time) {
+			job.state = state
+			job.started = started
+			job.finished = finished
+			if summary != nil {
+				job.result = summary.result(nil)
+			}
+			if errMsg != "" {
+				job.err = errors.New(errMsg)
+			}
+			close(job.done)
+			s.rememberLocked(job)
+			s.recovery.Finished++
+			r.state, r.errMsg, r.summary, r.finished = state, errMsg, summary, finished
+		}
+
+		switch {
+		case r.state.Terminal():
+			finalize(r.state, r.errMsg, r.summary, r.started, r.finished)
+		default:
+			job.recovered = true
+			// The result may already exist (crash after the store write
+			// but before the finish record): complete without re-running.
+			if res, ok := s.lookupResult(r.key); ok {
+				job.cached = true
+				finalize(StateDone, "", metaOf(res), now, now)
+				continue
+			}
+			if len(r.sub.FASTA) == 0 {
+				// No input to re-run: a cache-hit submit whose finish
+				// half was torn away. The caller already got its answer
+				// from the cache; resurrecting this as "failed" would
+				// contradict what they saw, so drop it (and let
+				// compaction shed it via the terminal-untracked path).
+				s.logf("serve: recovery: job %s has no journaled input; dropped", r.id)
+				r.state = StateCanceled
+				continue
+			}
+			seqs, err := fasta.Read(bytes.NewReader(r.sub.FASTA))
+			if err == nil && len(seqs) == 0 {
+				err = errors.New("no sequences")
+			}
+			if err != nil {
+				finalize(StateFailed, fmt.Sprintf("recovery: journaled input unreadable: %v", err), nil, r.started, now)
+				continue
+			}
+			fl := flightByKey[r.key]
+			if fl == nil {
+				fctx, fcancel := context.WithCancelCause(s.baseCtx)
+				fl = &flight{key: r.key, seqs: seqs, opts: r.sub.Opts, ctx: fctx, cancel: fcancel, state: StateQueued}
+				flightByKey[r.key] = fl
+				pending = append(pending, fl)
+			} else {
+				job.coalesced = true
+			}
+			job.fl = fl
+			job.state = StateQueued
+			fl.jobs = append(fl.jobs, job)
+			s.rememberLocked(job)
+			s.recovery.Requeued++
+			s.metrics.Recovered.Inc()
+		}
+	}
+	for _, fl := range pending {
+		fl.queuedSlot = true
+		s.inflight[fl.key] = fl
+		s.fifo = append(s.fifo, fl)
+		s.queued++
+	}
+
+	// Compact: finished jobs shed their input payload (and are pruned
+	// beyond MaxJobs, in step with the job table); unfinished ones keep
+	// the FASTA they will re-run from.
+	var compact []store.Record
+	for _, r := range order {
+		if r.sub == nil {
+			continue // dropped above: no submit half to carry forward
+		}
+		sd := *r.sub
+		if r.state.Terminal() {
+			if _, tracked := s.jobs[r.id]; !tracked {
+				continue // pruned from the job table: prune from the journal too
+			}
+			sd.FASTA = nil
+			compact = append(compact, submitRecord(r.id, r.key, r.submitted, sd))
+			compact = append(compact, finishRecord(r.id, r.key, r.state, r.errMsg, r.summary, r.finished))
+		} else {
+			sd.Recovered = true
+			compact = append(compact, submitRecord(r.id, r.key, r.submitted, sd))
+		}
+	}
+	if err := s.journal.Rewrite(compact); err != nil {
+		s.logf("serve: journal compaction: %v", err)
+	}
+
+	// Recovered jobs restart their deadline budget at replay time — the
+	// original submission clock includes the downtime, which is the
+	// server's fault, not the caller's.
+	for _, fl := range pending {
+		for _, job := range fl.jobs {
+			s.armDeadline(job, now)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/store"
+)
+
+// crash simulates a hard server death for recovery tests: the journal
+// fd closes without a shutdown record and the directory lock is
+// released, exactly the state a killed process leaves behind. The
+// abandoned dispatchers keep running (their journal appends fail
+// silently), as a zombie's would until the kernel reaps it.
+func crash(s *Server) {
+	s.journal.Close()
+	if s.unlockDir != nil {
+		s.unlockDir()
+		s.unlockDir = nil
+	}
+}
+
+func TestPersistedResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(10, 50, 70)
+
+	fe1 := &fakeExec{}
+	s1 := newTestServer(t, Config{Executor: fe1, DataDir: dir})
+	job1, err := s1.Submit(seqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := waitState(t, job1, StateDone)
+	payload1, ok := s1.resultPayload(job1, v1.Result)
+	if !ok {
+		t.Fatal("no payload before restart")
+	}
+	s1.Close() // clean shutdown: journals a shutdown record
+
+	// Restart on the same directory with a fresh executor.
+	fe2 := &fakeExec{}
+	s2 := newTestServer(t, Config{Executor: fe2, DataDir: dir})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if !rec.Enabled || !rec.CleanShutdown || rec.Finished != 1 || rec.Requeued != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The finished job is visible under its original ID.
+	j, ok := s2.Job(job1.ID)
+	if !ok {
+		t.Fatal("finished job lost across restart")
+	}
+	v := j.View()
+	if v.State != StateDone || v.Result == nil || v.Result.NumSeqs != 10 {
+		t.Fatalf("restored job view: %+v", v)
+	}
+	// Its payload is served from the disk store, byte-identical.
+	payload2, ok := s2.resultPayload(j, v.Result)
+	if !ok {
+		t.Fatal("no payload after restart")
+	}
+	if !bytes.Equal(payload1, payload2) {
+		t.Fatal("restored payload differs")
+	}
+	// An identical resubmission is a cache hit with zero recomputes.
+	job2, err := s2.Submit(seqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := job2.View(); v.State != StateDone || !v.Cached {
+		t.Fatalf("resubmission after restart: %+v", v)
+	}
+	if fe2.Runs() != 0 {
+		t.Fatalf("restart recomputed: runs = %d, want 0", fe2.Runs())
+	}
+	if got := s2.metrics.StoreHits.Value(); got < 1 {
+		t.Fatalf("store hits = %d, want >= 1", got)
+	}
+}
+
+func TestCrashRecoveryRequeuesUnfinishedJob(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(8, 40, 71)
+
+	fe1 := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 2)}
+	s1 := newTestServer(t, Config{Executor: fe1, DataDir: dir, MaxConcurrent: 1})
+	// Reap the zombie at test end: Close cancels the blocked executor
+	// (canceled jobs never reach the store) and waits its dispatchers
+	// out, so nothing races the TempDir cleanup.
+	defer s1.Close()
+	job1, err := s1.Submit(seqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fe1.started // journal now holds submit + start, no finish
+	crash(s1)
+
+	fe2 := &fakeExec{}
+	s2 := newTestServer(t, Config{Executor: fe2, DataDir: dir})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.CleanShutdown || rec.Requeued != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	j, ok := s2.Job(job1.ID)
+	if !ok {
+		t.Fatal("unfinished job not restored under its ID")
+	}
+	if !j.View().Recovered {
+		t.Fatal("re-enqueued job not marked recovered")
+	}
+	v := waitState(t, j, StateDone)
+	if fe2.Runs() != 1 {
+		t.Fatalf("recovered job ran %d times, want 1", fe2.Runs())
+	}
+	payload, ok := s2.resultPayload(j, v.Result)
+	if !ok {
+		t.Fatal("no payload for recovered job")
+	}
+	// Byte-identical to an uninterrupted run of the same executor.
+	if want := fasta.FormatString(seqs); string(payload) != want {
+		t.Fatalf("recovered payload differs:\n got %d bytes\nwant %d bytes", len(payload), len(want))
+	}
+}
+
+func TestCrashRecoveryByteIdenticalToUninterruptedRun(t *testing.T) {
+	// Craft the exact on-disk state a crash mid-job leaves (a journaled
+	// submit with no finish) and let a real-executor server recover it:
+	// the replayed alignment must be byte-identical to a direct run.
+	dir := t.TempDir()
+	seqs := testSeqs(24, 60, 72)
+	opts, err := resolve(Options{Procs: 3, Workers: 2}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey(seqs, opts)
+	j, _, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(submitRecord("jfeedfacecafe01", key, time.Now(), submitData{
+		Opts:    opts,
+		NumSeqs: len(seqs),
+		FASTA:   []byte(fasta.FormatString(seqs)),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	s := newTestServer(t, Config{DataDir: dir}) // real in-process executor
+	defer s.Close()
+	if s.Recovery().Requeued != 1 {
+		t.Fatalf("recovery = %+v", s.Recovery())
+	}
+	job, ok := s.Job("jfeedfacecafe01")
+	if !ok {
+		t.Fatal("crafted job not restored")
+	}
+	v := waitState(t, job, StateDone)
+	payload, ok := s.resultPayload(job, v.Result)
+	if !ok {
+		t.Fatal("no payload")
+	}
+	res, err := core.AlignInproc(seqs, 3, core.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fasta.FormatString(res.Alignment.Seqs); string(payload) != want {
+		t.Fatal("recovered alignment differs from a direct core run")
+	}
+}
+
+func TestJournalCorruptTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(6, 30, 73)
+
+	fe1 := &fakeExec{}
+	s1 := newTestServer(t, Config{Executor: fe1, DataDir: dir, StoreEntries: -1})
+	defer s1.Close()
+	job1, err := s1.Submit(seqs, Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job1, StateDone)
+	crash(s1)
+
+	// Tear the journal tail mid-record (the finish record), so replay
+	// sees submit+start only.
+	path := filepath.Join(dir, "journal.wal")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	fe2 := &fakeExec{}
+	s2 := newTestServer(t, Config{Executor: fe2, DataDir: dir, StoreEntries: -1})
+	defer s2.Close()
+	// With the disk result tier disabled the torn job must re-run.
+	if rec := s2.Recovery(); rec.Requeued != 1 || rec.CleanShutdown {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	j, ok := s2.Job(job1.ID)
+	if !ok {
+		t.Fatal("torn job not restored")
+	}
+	waitState(t, j, StateDone)
+	if fe2.Runs() != 1 {
+		t.Fatalf("torn job ran %d times, want 1", fe2.Runs())
+	}
+}
+
+func TestRecoveryFindsOrphanedStoreResult(t *testing.T) {
+	// Crash after the result hit the disk store but before the finish
+	// record: recovery must serve the stored result, not re-run.
+	dir := t.TempDir()
+	seqs := testSeqs(6, 30, 74)
+
+	fe1 := &fakeExec{}
+	s1 := newTestServer(t, Config{Executor: fe1, DataDir: dir})
+	defer s1.Close()
+	job1, err := s1.Submit(seqs, Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job1, StateDone)
+	crash(s1)
+	// Rewind the journal to submit+start by dropping the finish record.
+	path := filepath.Join(dir, "journal.wal")
+	jr, recs, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("journal has %d records, want >= 3", len(recs))
+	}
+	if err := jr.Rewrite(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	fe2 := &fakeExec{}
+	s2 := newTestServer(t, Config{Executor: fe2, DataDir: dir})
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.Finished != 1 || rec.Requeued != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	j, ok := s2.Job(job1.ID)
+	if !ok {
+		t.Fatal("job not restored")
+	}
+	if v := j.View(); v.State != StateDone {
+		t.Fatalf("restored state %s, want done (from orphaned store result)", v.State)
+	}
+	if fe2.Runs() != 0 {
+		t.Fatalf("orphaned result re-ran %d times", fe2.Runs())
+	}
+}
+
+func TestCompactionShedsFinishedPayloads(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(6, 30, 75)
+	s1 := newTestServer(t, Config{Executor: &fakeExec{}, DataDir: dir})
+	job1, err := s1.Submit(seqs, Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job1, StateDone)
+	s1.Close()
+
+	// First restart compacts; close cleanly again and inspect the log.
+	s2 := newTestServer(t, Config{Executor: &fakeExec{}, DataDir: dir})
+	s2.Close()
+	_, recs, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submits int
+	for _, rec := range recs {
+		if rec.Type != store.RecSubmit {
+			continue
+		}
+		submits++
+		var sd submitData
+		if err := json.Unmarshal(rec.Data, &sd); err != nil {
+			t.Fatal(err)
+		}
+		if len(sd.FASTA) != 0 {
+			t.Fatal("compacted submit record for a finished job still carries its FASTA")
+		}
+	}
+	if submits != 1 {
+		t.Fatalf("compacted journal has %d submit records, want 1", submits)
+	}
+}
+
+func TestReplayMergesOutOfOrderRecords(t *testing.T) {
+	// Journal appends race the server lock, so a job's cancel record
+	// can land before its submit record. Replay must merge them: the
+	// terminal state wins and the job is NOT re-enqueued.
+	dir := t.TempDir()
+	seqs := testSeqs(4, 30, 78)
+	opts, err := resolve(Options{Procs: 1}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey(seqs, opts)
+	j, _, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := j.Append(finishRecord("jaabb01", key, StateCanceled, "canceled by client request", nil, now)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(submitRecord("jaabb01", key, now, submitData{
+		Opts: opts, NumSeqs: len(seqs), FASTA: []byte(fasta.FormatString(seqs)),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// And a lone finish with no submit half at all: dropped, not restored.
+	if err := j.Append(finishRecord("jaabb02", key, StateDone, "", nil, now)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	fe := &fakeExec{}
+	s := newTestServer(t, Config{Executor: fe, DataDir: dir})
+	defer s.Close()
+	if rec := s.Recovery(); rec.Requeued != 0 || rec.Finished != 1 {
+		t.Fatalf("recovery = %+v, want 0 requeued / 1 finished", rec)
+	}
+	jb, ok := s.Job("jaabb01")
+	if !ok {
+		t.Fatal("out-of-order job not restored")
+	}
+	if v := jb.View(); v.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled (terminal record must win)", v.State)
+	}
+	if _, ok := s.Job("jaabb02"); ok {
+		t.Fatal("submit-less job was restored")
+	}
+	if fe.Runs() != 0 {
+		t.Fatalf("canceled job re-ran %d times", fe.Runs())
+	}
+}
+
+func TestSubmitRefusedWhileDraining(t *testing.T) {
+	// Even a cache hit must be refused once draining: a drained server
+	// stops mutating its job table and journal.
+	fe := &fakeExec{}
+	s := newTestServer(t, Config{Executor: fe})
+	defer s.Close()
+	seqs := testSeqs(4, 30, 79)
+	j1, err := s.Submit(seqs, Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, StateDone)
+	if !s.Drain(time.Second) {
+		t.Fatal("drain of an idle server failed")
+	}
+	if _, err := s.Submit(seqs, Options{Procs: 1}); err != ErrClosed {
+		t.Fatalf("cache-hit submit while draining: %v, want ErrClosed", err)
+	}
+}
+
+func TestSecondServerOnSameDataDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{Executor: &fakeExec{}, DataDir: dir})
+	defer s1.Close()
+	if _, err := New(Config{Executor: &fakeExec{}, DataDir: dir}); err == nil {
+		t.Fatal("two servers shared one data directory")
+	}
+}
+
+func TestHTTPStreamedResultAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(10, 50, 76)
+	s1 := newTestServer(t, Config{Executor: &fakeExec{}, DataDir: dir})
+	job1, err := s1.Submit(seqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := waitState(t, job1, StateDone)
+	payload1, _ := s1.resultPayload(job1, v1.Result)
+	s1.Close()
+
+	s2 := newTestServer(t, Config{Executor: &fakeExec{}, DataDir: dir})
+	ts := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts.Close(); s2.Close() })
+
+	// The memory cache is cold, so the result endpoint must stream the
+	// payload from the disk store: chunked transfer, no Content-Length.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job1.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	if resp.ContentLength >= 0 {
+		t.Fatalf("streamed response advertised Content-Length %d", resp.ContentLength)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, payload1) {
+		t.Fatal("streamed body differs from the pre-restart payload")
+	}
+	if got := s2.metrics.Streamed.Value(); got != 1 {
+		t.Fatalf("streamed counter = %d, want 1", got)
+	}
+	// Persistence gauges are exposed on /metrics.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		"samplealign_store_entries 1",
+		"samplealign_results_streamed_total 1",
+		"samplealign_journal_records",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestNoDataDirWritesNothing(t *testing.T) {
+	// Without a DataDir the server must not touch the filesystem.
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+
+	s := newTestServer(t, Config{Executor: &fakeExec{}})
+	job, err := s.Submit(testSeqs(4, 30, 77), Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, StateDone)
+	s.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("no-DataDir server created files: %v", entries)
+	}
+}

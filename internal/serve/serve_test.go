@@ -16,6 +16,17 @@ import (
 	"repro/internal/msa"
 )
 
+// newTestServer builds a Server, failing the test on persistence
+// setup errors (impossible without a DataDir).
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // testSeqs synthesizes n deterministic mutated copies of a base
 // protein so alignments are fast and reproducible.
 func testSeqs(n, length int, seed int64) []bio.Sequence {
@@ -91,7 +102,7 @@ func waitState(t *testing.T, j *Job, want State) JobView {
 }
 
 func TestSubmitRoundTripMatchesDirectRun(t *testing.T) {
-	s := New(Config{MaxConcurrent: 2})
+	s := newTestServer(t, Config{MaxConcurrent: 2})
 	defer s.Close()
 	seqs := testSeqs(24, 60, 1)
 	job, err := s.Submit(seqs, Options{Procs: 3, Workers: 2})
@@ -123,7 +134,7 @@ func TestSubmitRoundTripMatchesDirectRun(t *testing.T) {
 
 func TestCacheHitSkipsExecution(t *testing.T) {
 	fe := &fakeExec{}
-	s := New(Config{Executor: fe})
+	s := newTestServer(t, Config{Executor: fe})
 	defer s.Close()
 	seqs := testSeqs(8, 40, 2)
 
@@ -182,7 +193,7 @@ func TestCacheHitSkipsExecution(t *testing.T) {
 
 func TestCacheDisabledByConfig(t *testing.T) {
 	fe := &fakeExec{}
-	s := New(Config{Executor: fe, CacheEntries: -1})
+	s := newTestServer(t, Config{Executor: fe, CacheEntries: -1})
 	defer s.Close()
 	seqs := testSeqs(4, 30, 90)
 	j1, err := s.Submit(seqs, Options{Procs: 1})
@@ -210,7 +221,7 @@ func (f *fixedExec) FixedProcs() int { return 3 }
 
 func TestFixedProcsNormalizesCacheKey(t *testing.T) {
 	fe := &fixedExec{}
-	s := New(Config{Executor: fe})
+	s := newTestServer(t, Config{Executor: fe})
 	defer s.Close()
 	seqs := testSeqs(4, 30, 91)
 	j1, err := s.Submit(seqs, Options{Procs: 2})
@@ -236,7 +247,7 @@ func TestFixedProcsNormalizesCacheKey(t *testing.T) {
 
 func TestAdmissionControl429(t *testing.T) {
 	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 8)}
-	s := New(Config{Executor: fe, MaxConcurrent: 1, MaxQueued: 2})
+	s := newTestServer(t, Config{Executor: fe, MaxConcurrent: 1, MaxQueued: 2})
 	defer s.Close()
 
 	submit := func(seed int64) (*Job, error) {
@@ -277,7 +288,7 @@ func TestAdmissionControl429(t *testing.T) {
 
 func TestCancelQueuedAndRunning(t *testing.T) {
 	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 8)}
-	s := New(Config{Executor: fe, MaxConcurrent: 1, MaxQueued: 4})
+	s := newTestServer(t, Config{Executor: fe, MaxConcurrent: 1, MaxQueued: 4})
 	defer s.Close()
 
 	running, err := s.Submit(testSeqs(4, 30, 20), Options{Procs: 1})
@@ -320,7 +331,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 
 func TestSubmitCancelRace(t *testing.T) {
 	fe := &fakeExec{}
-	s := New(Config{Executor: fe, MaxConcurrent: 4, MaxQueued: 128})
+	s := newTestServer(t, Config{Executor: fe, MaxConcurrent: 4, MaxQueued: 128})
 	defer s.Close()
 
 	const n = 64
@@ -350,12 +361,25 @@ func TestSubmitCancelRace(t *testing.T) {
 			t.Fatalf("job %s raced into %s", j.ID, st)
 		}
 	}
+	// Queue accounting must balance whatever interleaving happened
+	// (cancel racing a dispatcher pop must not double-free a slot).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Queued == 0 && st.Active == 0 {
+			break
+		}
+		if st.Queued < 0 || time.Now().After(deadline) {
+			t.Fatalf("queue accounting off after race: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func TestCancelPropagatesIntoRunningAlignment(t *testing.T) {
 	// Real executor, real rank world: cancellation must unwind the
 	// alignment promptly instead of letting it run to completion.
-	s := New(Config{MaxConcurrent: 1})
+	s := newTestServer(t, Config{MaxConcurrent: 1})
 	defer s.Close()
 	seqs := testSeqs(150, 300, 3)
 	job, err := s.Submit(seqs, Options{Procs: 2})
@@ -384,7 +408,7 @@ func TestCancelPropagatesIntoRunningAlignment(t *testing.T) {
 func TestJobDeadline(t *testing.T) {
 	fe := &fakeExec{block: make(chan struct{})}
 	defer close(fe.block)
-	s := New(Config{Executor: fe})
+	s := newTestServer(t, Config{Executor: fe})
 	defer s.Close()
 	job, err := s.Submit(testSeqs(4, 30, 4), Options{Procs: 1, TimeoutMs: 50})
 	if err != nil {
@@ -397,7 +421,7 @@ func TestJobDeadline(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	defer s.Close()
 	var bad *BadRequestError
 	if _, err := s.Submit(nil, Options{}); !errors.As(err, &bad) {
@@ -420,7 +444,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestSubmitAfterCloseFails(t *testing.T) {
-	s := New(Config{Executor: &fakeExec{}})
+	s := newTestServer(t, Config{Executor: &fakeExec{}})
 	s.Close()
 	if _, err := s.Submit(testSeqs(2, 20, 6), Options{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
@@ -429,7 +453,7 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 
 func TestJobRetentionPrunesOldFinished(t *testing.T) {
 	fe := &fakeExec{}
-	s := New(Config{Executor: fe, MaxJobs: 4, MaxConcurrent: 1})
+	s := newTestServer(t, Config{Executor: fe, MaxJobs: 4, MaxConcurrent: 1})
 	defer s.Close()
 	var last *Job
 	for i := 0; i < 10; i++ {

@@ -1,17 +1,29 @@
 // Package serve turns the Sample-Align-D pipeline into a long-running
 // alignment service: a bounded asynchronous job queue with admission
-// control, a content-addressed LRU result cache, pluggable executors
-// (in-process ranks by default, a pre-connected TCP rank cluster
-// optionally) and an HTTP/JSON API (see Handler).
+// control, a content-addressed result cache (an in-memory LRU backed
+// by an optional on-disk store), a write-ahead submit journal with
+// crash recovery, pluggable executors (in-process ranks by default, a
+// pre-connected TCP rank cluster optionally) and an HTTP/JSON API (see
+// Handler).
 //
 // Lifecycle of a job: Submit canonicalizes the input and options,
-// consults the cache (a hit completes the job instantly), applies
-// admission control (full queue ⇒ ErrOverloaded, which the HTTP layer
-// maps to 429), and enqueues. A fixed pool of dispatchers executes
-// queued jobs FIFO; cancellation — explicit, caller deadline, or client
-// disconnect on the synchronous endpoint — propagates through the job's
-// context into the rank world via the core/mpi context plumbing, so a
-// cancelled job stops consuming workers mid-alignment.
+// consults the cache tiers (a hit completes the job instantly),
+// coalesces onto an identical in-flight computation if one exists,
+// applies admission control (full queue ⇒ ErrOverloaded, which the
+// HTTP layer maps to 429), journals the submission, and enqueues. A
+// fixed pool of dispatchers executes queued flights FIFO; every job
+// attached to a flight completes with its result. Cancellation —
+// explicit, caller deadline, or client disconnect on the synchronous
+// endpoint — detaches one job; only when the last waiter detaches does
+// it propagate through the flight's context into the rank world, so a
+// thundering herd sharing one computation cannot be killed by a single
+// impatient client.
+//
+// With Config.DataDir set, every accepted job is journaled before it
+// can run and every finished result is persisted content-addressed on
+// disk: a restart replays the journal, re-enqueues unfinished jobs and
+// restores finished ones, and large results are streamed from disk
+// instead of buffered (see the store package).
 package serve
 
 import (
@@ -26,6 +38,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/fasta"
 	"repro/internal/msa"
+	"repro/internal/store"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -63,16 +76,28 @@ func (s State) Terminal() bool {
 }
 
 // Config parameterises a Server. The zero value is usable: in-process
-// executor, 2 concurrent jobs, 64 queued, 256-entry/64 MiB cache.
+// executor, 2 concurrent jobs, 64 queued, 256-entry/64 MiB cache, no
+// persistence.
 type Config struct {
 	Defaults      Options  // server-side option defaults for requests
 	Limits        Limits   // per-job procs/workers bounds
 	MaxConcurrent int      // jobs aligning at once (default 2)
-	MaxQueued     int      // jobs waiting beyond the running ones (default 64)
+	MaxQueued     int      // flights waiting beyond the running ones (default 64)
 	CacheEntries  int      // result cache entry bound (default 256; -1 disables)
 	CacheBytes    int64    // result cache byte bound (default 64 MiB; -1 unbounded)
 	MaxJobs       int      // finished-job records retained for status (default 1024)
 	Executor      Executor // default Inproc{}
+
+	// DataDir enables durability: a write-ahead submit journal
+	// (replayed on startup) plus a content-addressed on-disk result
+	// store that backs the in-memory cache as a second tier and serves
+	// streaming result reads. Empty = fully in-memory (byte-identical
+	// behaviour to a server without persistence).
+	DataDir      string
+	StoreEntries int   // disk store entry bound (default 4096; -1 disables the disk result tier)
+	StoreBytes   int64 // disk store byte bound (default 1 GiB; -1 unbounded)
+
+	Logf func(format string, args ...any) // operational warnings (journal I/O errors, recovery notes); nil = silent
 }
 
 func (c Config) withDefaults() Config {
@@ -94,11 +119,36 @@ func (c Config) withDefaults() Config {
 	if c.Executor == nil {
 		c.Executor = Inproc{}
 	}
+	if c.StoreEntries == 0 {
+		c.StoreEntries = 4096
+	}
+	if c.StoreBytes == 0 {
+		c.StoreBytes = 1 << 30
+	}
 	return c
 }
 
-// Job is one submitted alignment. All mutable state is guarded by mu;
-// done closes exactly once on reaching a terminal state.
+// flight is one alignment computation: the input, the options it runs
+// under, and every job waiting on it. Multiple concurrent submissions
+// of the same content address attach to one flight (request
+// coalescing), so identical work runs once. state and jobs are guarded
+// by Server.mu.
+type flight struct {
+	key    string
+	seqs   []bio.Sequence
+	opts   Resolved
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	state      State
+	jobs       []*Job
+	queuedSlot bool // holds one of the MaxQueued admission slots
+}
+
+// Job is one submitted alignment request. Jobs sharing a flight
+// complete together; each still has its own ID, deadline and
+// cancellation. Mutable state is guarded by mu; done closes exactly
+// once on reaching a terminal state.
 type Job struct {
 	ID        string
 	Key       string // content address (cache key)
@@ -106,18 +156,19 @@ type Job struct {
 	Submitted time.Time
 	NumSeqs   int
 
-	seqs   []bio.Sequence
-	ctx    context.Context
-	cancel context.CancelCauseFunc
-	done   chan struct{}
+	fl   *flight // guarded by Server.mu; nil once detached or terminal
+	done chan struct{}
 
-	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	cached   bool
-	result   *Result
-	err      error
+	mu        sync.Mutex
+	state     State
+	started   time.Time
+	finished  time.Time
+	cached    bool
+	coalesced bool
+	recovered bool
+	timer     *time.Timer // pending deadline, stopped at finalization
+	result    *Result
+	err       error
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -128,6 +179,8 @@ type JobView struct {
 	ID        string     `json:"id"`
 	State     State      `json:"state"`
 	Cached    bool       `json:"cached"`
+	Coalesced bool       `json:"coalesced,omitempty"` // attached to an identical in-flight job
+	Recovered bool       `json:"recovered,omitempty"` // re-enqueued by journal replay after a restart
 	Key       string     `json:"cache_key"`
 	NumSeqs   int        `json:"num_seqs"`
 	Opts      Resolved   `json:"options"`
@@ -146,6 +199,8 @@ func (j *Job) View() JobView {
 		ID:        j.ID,
 		State:     j.state,
 		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Recovered: j.recovered,
 		Key:       j.Key,
 		NumSeqs:   j.NumSeqs,
 		Opts:      j.Opts,
@@ -180,42 +235,90 @@ func summaryOf(res *Result) *Result {
 	return &summary
 }
 
+// retainedResult decides what the job record keeps: only the summary
+// when a cache tier (memory or disk) owns the payload — their bounds
+// then govern result memory — or the full result when the job is the
+// payload's only home.
+func (s *Server) retainedResult(res *Result) *Result {
+	if s.cache.Enabled() || s.results != nil {
+		return summaryOf(res)
+	}
+	return res
+}
+
 // resultPayload returns the aligned FASTA for a done job: from the job
-// record when caching is off, from the cache otherwise. ok is false
-// when the cache has since evicted the entry.
+// record when no cache tier holds it, else from the memory cache or
+// the disk store. ok is false when every tier has since evicted it.
 func (s *Server) resultPayload(job *Job, res *Result) ([]byte, bool) {
-	if res.FASTA != nil {
+	if res != nil && res.FASTA != nil {
 		return res.FASTA, true
 	}
-	if cres, ok := s.cache.Get(job.Key); ok {
-		return cres.FASTA, true
+	if full, ok := s.lookupResult(job.Key); ok {
+		return full.FASTA, true
 	}
 	return nil, false
 }
 
-// Server owns the queue, the dispatcher pool, the cache and the job
-// table. Construct with New, serve HTTP via Handler, stop with Close.
+// lookupResult consults the cache tiers: the in-memory LRU first, then
+// the disk store (promoting a disk hit into memory, bounded by the
+// memory cache's own limits).
+func (s *Server) lookupResult(key string) (*Result, bool) {
+	if res, ok := s.cache.Get(key); ok {
+		return res, true
+	}
+	if s.results == nil {
+		return nil, false
+	}
+	meta, payload, ok := s.results.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := resultFromMeta(meta, payload)
+	if err != nil {
+		s.logf("serve: result %s meta unreadable: %v", key, err)
+		return nil, false
+	}
+	s.metrics.StoreHits.Inc()
+	s.cache.Put(key, res)
+	return res, true
+}
+
+// Server owns the queue, the dispatcher pool, the cache tiers, the
+// journal and the job table. Construct with New, serve HTTP via
+// Handler, stop with Drain (optional) + Close.
 type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
 	started time.Time
 
+	journal   *store.Journal
+	results   *store.Results
+	unlockDir func()
+	recovery  RecoveryInfo
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *Job
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	queued int // jobs admitted but not yet picked up
-	active int // jobs currently executing
-	jobs   map[string]*Job
-	order  []string // submission order, for bounded retention
+	mu       sync.Mutex
+	cond     *sync.Cond // signals fifo pushes and close
+	closed   bool
+	draining bool
+	fifo     []*flight
+	queued   int // flights admitted but not yet picked up
+	active   int // flights currently executing
+	inflight map[string]*flight
+	jobs     map[string]*Job
+	order    []string // submission order, for bounded retention
 }
 
-// New builds and starts a Server (its dispatcher pool runs until Close).
-func New(cfg Config) *Server {
+// New builds and starts a Server (its dispatcher pool runs until
+// Close). With cfg.DataDir set it locks the directory, replays the
+// journal — re-enqueueing unfinished jobs and restoring finished ones
+// — and compacts it; the error is non-nil only for persistence setup
+// failures.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	// CacheEntries < 0 disables caching entirely, whatever the byte
@@ -231,18 +334,51 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.MaxQueued),
+		inflight:   make(map[string]*flight),
 		jobs:       make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.DataDir != "" {
+		if err := s.openPersistence(); err != nil {
+			cancel()
+			return nil, err
+		}
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.dispatch()
 	}
-	return s
+	return s, nil
 }
 
-// Close cancels every queued and running job and waits for the
-// dispatcher pool to drain.
+// Drain stops admission — new submissions fail with ErrClosed (HTTP
+// 503) while status and result reads keep working — and waits up to
+// timeout for every queued and running job to finish. It reports
+// whether the server drained fully; leftovers are canceled by Close.
+// timeout <= 0 marks draining without waiting.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.metrics.Draining.Set(1)
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		idle := s.queued == 0 && s.active == 0
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close cancels every queued and running job, waits for the dispatcher
+// pool to drain, journals a clean-shutdown record and releases the
+// data directory. For a graceful stop call Drain first.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -251,10 +387,26 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.baseCancel()
-	close(s.queue)
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journalAppend(store.Record{Type: store.RecShutdown, Time: time.Now()})
+		if err := s.journal.Close(); err != nil {
+			s.logf("serve: closing journal: %v", err)
+		}
+	}
+	if s.unlockDir != nil {
+		s.unlockDir()
+		s.unlockDir = nil
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 func newJobID() string {
@@ -265,10 +417,22 @@ func newJobID() string {
 	return "j" + hex.EncodeToString(b[:])
 }
 
-// Submit validates, cache-checks and enqueues one job. The returned job
-// may already be terminal (cache hit). ErrOverloaded means the queue is
-// at MaxQueued; *BadRequestError wraps client mistakes.
+// Submit validates, cache-checks, coalesces and enqueues one job. The
+// returned job may already be terminal (cache or store hit) or riding
+// an existing flight (identical in-flight submission). ErrOverloaded
+// means the queue is at MaxQueued; *BadRequestError wraps client
+// mistakes.
 func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
+	// Refuse everything — cache hits included — once draining or
+	// closed: a drained server must stop mutating its job table and
+	// journal (a record landing after the shutdown marker would make
+	// the next boot misreport a crash).
+	s.mu.Lock()
+	stopped := s.closed || s.draining
+	s.mu.Unlock()
+	if stopped {
+		return nil, ErrClosed
+	}
 	// A fixed-size cluster's rank count enters resolution itself, so
 	// limits and the cache key both see the procs the job actually uses.
 	opts, err := resolve(o, s.cfg.Defaults, s.cfg.Limits, s.cfg.Executor.FixedProcs())
@@ -299,60 +463,126 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 	}
 
 	// Content-addressed fast path: identical input + options were
-	// already aligned; answer from the cache without queueing. The job
-	// record keeps only the summary — the payload stays in the cache,
-	// so its byte bound governs result memory (see resultPayload).
-	if res, ok := s.cache.Get(job.Key); ok {
+	// already aligned; answer from the cache tiers without queueing.
+	// The job record keeps only the summary — the payload stays in the
+	// cache/store, so their bounds govern result memory.
+	if res, ok := s.lookupResult(job.Key); ok {
 		s.metrics.Submitted.Inc()
 		s.metrics.CacheHits.Inc()
 		job.state = StateDone
 		job.cached = true
-		job.result = summaryOf(res)
+		job.result = s.retainedResult(res)
 		job.started, job.finished = now, now
 		close(job.done)
 		s.remember(job)
 		s.metrics.Completed.Inc()
+		s.journalTerminalJob(job)
 		return job, nil
 	}
 
-	jctx, jcancel := context.WithCancelCause(s.baseCtx)
-	cancelAll := jcancel
-	if opts.Timeout > 0 {
-		// The caller's deadline counts from submission: time spent
-		// queued is the server's problem, not extra budget.
-		dctx, dcancel := context.WithDeadlineCause(jctx, now.Add(opts.Timeout),
-			fmt.Errorf("job deadline (%v) exceeded", opts.Timeout))
-		jctx = dctx
-		cancelAll = func(cause error) { dcancel(); jcancel(cause) }
-	}
-	job.ctx, job.cancel = jctx, cancelAll
-	job.seqs = seqs
-	job.state = StateQueued
-
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
-		jcancel(ErrClosed)
 		return nil, ErrClosed
 	}
+
+	// In-flight coalescing: an identical computation is already queued
+	// or running; attach to it instead of queueing a duplicate. The
+	// attached job takes no queue slot — it rides the existing one.
+	if fl := s.inflight[job.Key]; fl != nil {
+		job.coalesced = true
+		job.fl = fl
+		fl.jobs = append(fl.jobs, job)
+		job.state = StateQueued
+		if fl.state == StateRunning {
+			job.state = StateRunning
+			job.started = now
+		}
+		s.rememberLocked(job)
+		s.mu.Unlock()
+		s.metrics.Submitted.Inc()
+		s.metrics.Coalesced.Inc()
+		s.journalSubmit(job, seqs)
+		s.armDeadline(job, now)
+		return job, nil
+	}
+
 	if s.queued >= s.cfg.MaxQueued {
 		s.mu.Unlock()
 		s.metrics.Rejected.Inc()
-		jcancel(ErrOverloaded)
 		return nil, ErrOverloaded
 	}
+	fctx, fcancel := context.WithCancelCause(s.baseCtx)
+	fl := &flight{
+		key:        job.Key,
+		seqs:       seqs,
+		opts:       opts,
+		ctx:        fctx,
+		cancel:     fcancel,
+		state:      StateQueued,
+		jobs:       []*Job{job},
+		queuedSlot: true,
+	}
+	job.fl = fl
+	job.state = StateQueued
+	s.inflight[job.Key] = fl
 	s.queued++
 	s.rememberLocked(job)
-	// Send under the lock: capacity MaxQueued ≥ queued means this never
-	// blocks, and holding mu makes the send safe against Close closing
-	// the channel in between.
-	s.queue <- job
 	s.mu.Unlock()
-	// Counted only after admission: a 429 is neither an accepted job
-	// nor a cache miss that ran.
+
 	s.metrics.Submitted.Inc()
 	s.metrics.CacheMisses.Inc()
+	// Journal before the flight can be dispatched: once the caller sees
+	// an accepted job, a crash must not lose it.
+	s.journalSubmit(job, seqs)
+
+	s.mu.Lock()
+	switch {
+	case fl.state != StateQueued:
+		// Canceled while the submit record was being journaled; it was
+		// never in the fifo, so nothing to remove.
+		s.mu.Unlock()
+	case s.closed:
+		fl.state = StateCanceled
+		fl.queuedSlot = false
+		s.queued--
+		if s.inflight[fl.key] == fl {
+			delete(s.inflight, fl.key)
+		}
+		jobs := fl.jobs
+		fl.jobs = nil
+		s.mu.Unlock()
+		for _, w := range jobs {
+			s.finalizeJob(w, StateCanceled, nil, ErrClosed, time.Now())
+		}
+		fl.cancel(ErrClosed)
+	default:
+		s.fifo = append(s.fifo, fl)
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+	s.armDeadline(job, now)
 	return job, nil
+}
+
+// armDeadline schedules the job's deadline, counted from `from` (the
+// submission — queueing time is the server's problem, not extra
+// budget; recovered jobs restart their budget at replay).
+func (s *Server) armDeadline(job *Job, from time.Time) {
+	d := job.Opts.Timeout
+	if d <= 0 {
+		return
+	}
+	cause := fmt.Errorf("job deadline (%v) exceeded", d)
+	fire := time.Until(from.Add(d))
+	if fire < 0 {
+		fire = 0
+	}
+	job.mu.Lock()
+	if !job.state.Terminal() {
+		job.timer = time.AfterFunc(fire, func() { s.cancelJob(job, cause) })
+	}
+	job.mu.Unlock()
 }
 
 // remember stores the job record, pruning the oldest terminal jobs
@@ -410,67 +640,133 @@ func (s *Server) Cancel(id string, cause error) (bool, error) {
 	return s.cancelJob(j, cause), nil
 }
 
+// cancelJob detaches one job from its flight and finalizes it as
+// canceled. A queued flight whose last waiter detaches is removed from
+// the FIFO immediately (it never starts); a running one has its
+// context canceled, unwinding the rank world — but only when no other
+// coalesced waiter still wants the result.
 func (s *Server) cancelJob(j *Job, cause error) bool {
 	if cause == nil {
 		cause = context.Canceled
 	}
+	now := time.Now()
+	s.mu.Lock()
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
-	wasQueued := j.state == StateQueued
-	if wasQueued {
-		// Still waiting: finalize here; the dispatcher will skip it.
-		j.state = StateCanceled
-		j.err = cause
-		j.finished = time.Now()
-		j.seqs = nil // drop the input now, not at record pruning
+	fl := j.fl
+	j.fl = nil
+	var lastDetach bool
+	if fl != nil {
+		for i, w := range fl.jobs {
+			if w == j {
+				fl.jobs = append(fl.jobs[:i], fl.jobs[i+1:]...)
+				break
+			}
+		}
+		if len(fl.jobs) == 0 && !fl.state.Terminal() {
+			lastDetach = true
+			if s.inflight[fl.key] == fl {
+				delete(s.inflight, fl.key)
+			}
+			if fl.state == StateQueued {
+				// Still waiting: pull it out of the FIFO so it never
+				// occupies a dispatcher, and free its admission slot —
+				// unless a dispatcher already popped it (the slot is
+				// gone and run() will skip the now-canceled flight).
+				fl.state = StateCanceled
+				if fl.queuedSlot {
+					for i, qf := range s.fifo {
+						if qf == fl {
+							s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+							break
+						}
+					}
+					fl.queuedSlot = false
+					s.queued--
+				}
+				fl.seqs = nil
+			}
+		}
 	}
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	j.state = StateCanceled
+	j.err = cause
+	j.finished = now
 	j.mu.Unlock()
-	j.cancel(cause) // unwinds the rank world if running
-	if wasQueued {
-		close(j.done)
-		s.metrics.Canceled.Inc()
+	s.mu.Unlock()
+	if lastDetach {
+		fl.cancel(cause) // unwinds the rank world if running
 	}
+	close(j.done)
+	s.metrics.Canceled.Inc()
+	s.journalFinish(j.ID, j.Key, StateCanceled, cause.Error(), nil, now)
 	return true
 }
 
 // dispatch is one worker of the executor pool.
 func (s *Server) dispatch() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
 		s.mu.Lock()
+		for len(s.fifo) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.fifo) == 0 { // closed and fully drained
+			s.mu.Unlock()
+			return
+		}
+		fl := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		fl.queuedSlot = false
 		s.queued--
 		s.active++
 		s.mu.Unlock()
-		s.run(job)
+		s.run(fl)
 		s.mu.Lock()
 		s.active--
 		s.mu.Unlock()
 	}
 }
 
-// run executes one dequeued job to a terminal state.
-func (s *Server) run(job *Job) {
-	job.mu.Lock()
-	if job.state != StateQueued { // cancelled while waiting
-		job.mu.Unlock()
+// run executes one dequeued flight to a terminal state and fans the
+// outcome out to every job still attached.
+func (s *Server) run(fl *flight) {
+	s.mu.Lock()
+	if fl.state != StateQueued { // canceled between push and pop
+		s.mu.Unlock()
 		return
 	}
-	job.state = StateRunning
-	job.started = time.Now()
-	job.mu.Unlock()
-	s.metrics.QueueWait.Observe(job.started.Sub(job.Submitted).Seconds())
+	fl.state = StateRunning
+	jobs := append([]*Job(nil), fl.jobs...)
+	s.mu.Unlock()
+
+	started := time.Now()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateRunning
+			j.started = started
+		}
+		j.mu.Unlock()
+		s.metrics.QueueWait.Observe(started.Sub(j.Submitted).Seconds())
+		s.journalAppend(store.Record{Type: store.RecStart, Job: j.ID, Key: fl.key, Time: started})
+	}
 
 	var (
 		res *Result
 		err error
 	)
-	if err = job.ctx.Err(); err == nil {
+	if err = fl.ctx.Err(); err == nil {
 		var aln *msa.Alignment
 		var rep ExecReport
-		aln, rep, err = s.cfg.Executor.Align(job.ctx, job.seqs, job.Opts)
+		aln, rep, err = s.cfg.Executor.Align(fl.ctx, fl.seqs, fl.opts)
 		if err == nil {
 			res = &Result{
 				FASTA:     []byte(fasta.FormatString(aln.Seqs)),
@@ -482,41 +778,78 @@ func (s *Server) run(job *Job) {
 			}
 		}
 	}
+	finished := time.Now()
+	elapsed := finished.Sub(started)
 
-	job.mu.Lock()
-	job.finished = time.Now()
-	job.seqs = nil // the input is dead weight once aligned
-	elapsed := job.finished.Sub(job.started)
+	var outcome State
+	var cause error
 	switch {
 	case err == nil:
 		res.Elapsed = elapsed
-		job.state = StateDone
-		// With caching on, the job record keeps only the summary and
-		// the payload lives in the cache, whose entry/byte bounds then
-		// actually bound result memory; up to MaxJobs pinned payloads
-		// would bypass them. With caching off the job is the only home
-		// the payload has.
-		if s.cache.Enabled() {
-			job.result = summaryOf(res)
-		} else {
-			job.result = res
-		}
-	case wasCanceled(job.ctx, err):
-		job.state = StateCanceled
-		job.err = cancelCause(job.ctx, err)
+		outcome = StateDone
+		// Persist before publishing completion: both tiers hold the
+		// result by the time any waiter (or a new submission racing the
+		// inflight-map removal below) looks for it.
+		s.cache.Put(fl.key, res)
+		s.storePut(fl.key, res)
+	case wasCanceled(fl.ctx, err):
+		outcome = StateCanceled
+		cause = cancelCause(fl.ctx, err)
 	default:
-		job.state = StateFailed
-		job.err = err
+		outcome = StateFailed
+		cause = err
 	}
-	state := job.state
-	job.mu.Unlock()
-	job.cancel(nil) // release the deadline timer
-	close(job.done)
+
+	s.mu.Lock()
+	if s.inflight[fl.key] == fl {
+		delete(s.inflight, fl.key)
+	}
+	fl.state = outcome
+	jobs = fl.jobs
+	fl.jobs = nil
+	fl.seqs = nil
+	s.mu.Unlock()
 
 	s.metrics.RunSeconds.Observe(elapsed.Seconds())
-	switch state {
+	for _, j := range jobs {
+		s.finalizeJob(j, outcome, res, cause, finished)
+	}
+	fl.cancel(nil) // release the context resources
+}
+
+// finalizeJob moves one job to a terminal state (if it has not already
+// been detached/canceled), publishes the outcome and journals it.
+func (s *Server) finalizeJob(j *Job, outcome State, res *Result, cause error, finished time.Time) {
+	j.mu.Lock()
+	if j.state.Terminal() { // detached (canceled) while the flight ran
+		j.mu.Unlock()
+		return
+	}
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	j.state = outcome
+	j.finished = finished
+	var summary *Result
+	if outcome == StateDone {
+		j.result = s.retainedResult(res)
+		summary = summaryOf(res)
+	} else {
+		j.err = cause
+	}
+	j.mu.Unlock()
+	s.mu.Lock()
+	j.fl = nil
+	s.mu.Unlock()
+	close(j.done)
+	errMsg := ""
+	if cause != nil {
+		errMsg = cause.Error()
+	}
+	s.journalFinish(j.ID, j.Key, outcome, errMsg, summary, finished)
+	switch outcome {
 	case StateDone:
-		s.cache.Put(job.Key, res)
 		s.metrics.Completed.Inc()
 	case StateCanceled:
 		s.metrics.Canceled.Inc()
@@ -525,8 +858,8 @@ func (s *Server) run(job *Job) {
 	}
 }
 
-// wasCanceled decides whether err is the job's own cancellation (vs. a
-// genuine alignment failure).
+// wasCanceled decides whether err is the flight's own cancellation
+// (vs. a genuine alignment failure).
 func wasCanceled(ctx context.Context, err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return true
@@ -555,6 +888,7 @@ type QueueStats struct {
 	Active        int   `json:"active"`
 	MaxQueued     int   `json:"max_queued"`
 	MaxConcurrent int   `json:"max_concurrent"`
+	Draining      bool  `json:"draining,omitempty"`
 	Jobs          int   `json:"jobs_tracked"`
 	CacheEntries  int   `json:"cache_entries"`
 	CacheBytes    int64 `json:"cache_bytes"`
@@ -563,13 +897,14 @@ type QueueStats struct {
 // Stats snapshots the queue.
 func (s *Server) Stats() QueueStats {
 	s.mu.Lock()
-	q, a, n := s.queued, s.active, len(s.jobs)
+	q, a, n, d := s.queued, s.active, len(s.jobs), s.draining
 	s.mu.Unlock()
 	return QueueStats{
 		Queued:        q,
 		Active:        a,
 		MaxQueued:     s.cfg.MaxQueued,
 		MaxConcurrent: s.cfg.MaxConcurrent,
+		Draining:      d,
 		Jobs:          n,
 		CacheEntries:  s.cache.Len(),
 		CacheBytes:    s.cache.Bytes(),

@@ -25,6 +25,20 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is a goroutine-safe settable value, for /metrics gauges whose
+// truth lives in the instrumented component rather than in a sampled
+// snapshot (e.g. "is the server draining", store occupancy).
+type Gauge struct{ n atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add adjusts the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
 // LatencyHistogram is a goroutine-safe fixed-bucket histogram of
 // durations (in seconds). Buckets are cumulative in the exposition
 // (Prometheus "le" convention): bucket i counts observations ≤

@@ -120,3 +120,17 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("counter = %d, want 5", got)
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Add(1)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.Set(0)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge after reset = %d, want 0", got)
+	}
+}

@@ -1,0 +1,273 @@
+// Package store is the durability layer under the alignment job
+// service: a write-ahead submit journal and a content-addressed
+// on-disk result store.
+//
+// The journal is an append-only file of length-prefixed, CRC-checked
+// records, fsync'd per append. Opening it replays every intact record
+// and truncates a torn or corrupt tail (the expected shape of a crash
+// mid-write), so the service can reconstruct its job table and
+// re-enqueue journaled-but-unfinished work. Rewrite compacts the file
+// atomically (temp file + rename) once the replayed state has been
+// folded into fresh records.
+//
+// The result store keeps one file per content address (the service's
+// SHA-256 cache key), written atomically and checksummed, bounded by
+// entry count and total payload bytes with deterministic LRU eviction.
+// Results can be read whole (fully verified) or streamed (verified
+// incrementally, so serving a huge alignment never buffers it).
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record kinds written by the job service. The store treats them as
+// opaque; replay-time semantics live in the service.
+const (
+	RecSubmit   = "submit"
+	RecStart    = "start"
+	RecFinish   = "finish"
+	RecCancel   = "cancel"
+	RecShutdown = "shutdown"
+)
+
+// Record is one journal entry: a typed envelope with a service-defined
+// payload. Job and Key are first-class so replay can correlate records
+// without decoding Data.
+type Record struct {
+	Type string          `json:"t"`
+	Job  string          `json:"job,omitempty"`
+	Key  string          `json:"key,omitempty"`
+	Time time.Time       `json:"time"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Castagnoli, like every other CRC in the ecosystem that cares about
+// hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordBytes rejects absurd length prefixes during replay; a frame
+// this large is corruption, not data (submit payloads are bounded by
+// the HTTP request cap far below this).
+const maxRecordBytes = 1 << 30
+
+// Journal is the append-only write-ahead log. All methods are
+// goroutine-safe.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int64
+	bytes   int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record, truncates any corrupt or torn tail so that
+// subsequent appends extend a clean prefix, and leaves the file open
+// for appending.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, goodOff, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > goodOff {
+		// Torn tail: drop it so the next append starts at a record
+		// boundary instead of extending garbage.
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating corrupt journal tail: %w", err)
+		}
+		f.Sync()
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path, records: int64(len(recs)), bytes: goodOff}, recs, nil
+}
+
+// replay scans framed records from the start of f, returning every
+// intact record and the offset just past the last one. Any framing or
+// checksum violation ends the scan silently — a crash can tear at any
+// byte, so a bad tail is normal, not an error.
+func replay(f *os.File) ([]Record, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := fi.Size()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs []Record
+		off  int64
+		hdr  [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return recs, off, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordBytes ||
+			int64(length) > size-off-int64(len(hdr)) {
+			// Insane or past-EOF length prefix: corruption — don't
+			// even allocate for it.
+			return recs, off, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, nil // flipped bits: stop at the last good record
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += int64(len(hdr)) + int64(length)
+	}
+}
+
+// frame encodes one record as [len][crc][payload].
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// Append writes one record and fsyncs: when Append returns nil the
+// record survives a crash.
+func (j *Journal) Append(rec Record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("store: journal is closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.records++
+	j.bytes += int64(len(buf))
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs
+// (compaction): the new image is written to a temp file in the same
+// directory, fsync'd, and renamed over the live journal, so a crash at
+// any point leaves either the old or the new journal, never a mix.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("store: journal is closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	var total int64
+	for _, rec := range recs {
+		buf, err := frame(rec)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			return fail(err)
+		}
+		total += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	tmp.Chmod(0o644) // CreateTemp defaults to 0600
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fail(err)
+	}
+	syncDir(dir)
+	// The rename moved tmp's inode to the journal path, so the open tmp
+	// handle IS the new journal — keep writing through it rather than
+	// reopening (a failed reopen would leave appends going to the
+	// replaced, unlinked inode while reporting durable success).
+	j.f.Close()
+	j.f = tmp
+	j.records = int64(len(recs))
+	j.bytes = total
+	return nil
+}
+
+// Records returns the number of records in the journal (replayed plus
+// appended since open).
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Bytes returns the journal's size in bytes.
+func (j *Journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file. Appends after Close fail; they do not
+// panic, so a crashing server can be abandoned mid-operation.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename within it is durable;
+// best-effort because some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,413 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Result file layout:
+//
+//	magic   [4]byte  "SAR1"
+//	metaLen uint32   little-endian
+//	metaCRC uint32   CRC32C of the meta bytes
+//	payLen  uint64   little-endian
+//	payCRC  uint32   CRC32C of the payload bytes
+//	meta    []byte   service-defined (JSON summary of the result)
+//	payload []byte   the aligned FASTA
+//
+// Files are written to a temp name and renamed into place, so a
+// half-written result is never visible under its key; checksums catch
+// bit rot and torn writes that survived the rename anyway, and a file
+// that fails them is deleted and treated as a miss.
+
+var resultMagic = [4]byte{'S', 'A', 'R', '1'}
+
+const resultHeaderLen = 4 + 4 + 4 + 8 + 4
+
+// ErrCorrupt reports a result file whose checksum did not match; the
+// streaming reader returns it from Read at the point of detection.
+var ErrCorrupt = errors.New("store: result file corrupt")
+
+// Results is the bounded content-addressed result store. All methods
+// are goroutine-safe. Eviction is strict LRU over Put/Get/Open
+// recency, so for a deterministic access sequence the surviving set is
+// deterministic.
+type Results struct {
+	dir        string
+	maxEntries int
+	maxBytes   int64
+
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	evictions int64
+}
+
+type resultEntry struct {
+	key  string
+	size int64 // payload bytes, the accounting unit (mirrors the memory cache)
+}
+
+// OpenResults opens (creating if needed) a result store rooted at dir,
+// scanning existing files to rebuild the index. Entries are ordered
+// oldest-first by (mtime, key) so eviction after a restart is
+// deterministic for identical on-disk states. Either bound <= 0 means
+// "no bound on that axis".
+func OpenResults(dir string, maxEntries int, maxBytes int64) (*Results, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Results{
+		dir:        dir,
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []scanned
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if strings.HasPrefix(name, ".") { // orphaned temp file from a crash mid-Put
+			os.Remove(path)
+			continue
+		}
+		size, ok := statResult(path)
+		if !ok {
+			os.Remove(path) // unreadable or inconsistent header: not a result
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{key: name, size: size, mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mtime != found[j].mtime {
+			return found[i].mtime < found[j].mtime
+		}
+		return found[i].key < found[j].key
+	})
+	for _, sc := range found {
+		s.items[sc.key] = s.ll.PushFront(&resultEntry{key: sc.key, size: sc.size})
+		s.bytes += sc.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// statResult reads and sanity-checks a result file header, returning
+// the payload size. Full checksum verification is deferred to reads.
+func statResult(path string) (int64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	metaLen, payLen, _, _, err := readHeader(f)
+	if err != nil {
+		return 0, false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, false
+	}
+	if fi.Size() != int64(resultHeaderLen)+int64(metaLen)+payLen {
+		return 0, false // truncated or padded: treat as corrupt
+	}
+	return payLen, true
+}
+
+func readHeader(r io.Reader) (metaLen uint32, payLen int64, metaCRC, payCRC uint32, err error) {
+	var hdr [resultHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if [4]byte(hdr[0:4]) != resultMagic {
+		return 0, 0, 0, 0, ErrCorrupt
+	}
+	metaLen = binary.LittleEndian.Uint32(hdr[4:8])
+	metaCRC = binary.LittleEndian.Uint32(hdr[8:12])
+	upay := binary.LittleEndian.Uint64(hdr[12:20])
+	payCRC = binary.LittleEndian.Uint32(hdr[20:24])
+	if metaLen > maxRecordBytes || upay > 1<<40 {
+		return 0, 0, 0, 0, ErrCorrupt
+	}
+	return metaLen, int64(upay), metaCRC, payCRC, nil
+}
+
+// Put stores (meta, payload) under key with an atomic temp-file +
+// rename write, then evicts LRU entries until both bounds hold. A
+// payload larger than the byte bound is not stored. Re-putting an
+// existing key only refreshes its recency (content-addressed: same
+// key, same bytes).
+func (s *Results) Put(key string, meta, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid result key %q", key)
+	}
+	if s.maxBytes > 0 && int64(len(payload)) > s.maxBytes {
+		return nil
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [resultHeaderLen]byte
+	copy(hdr[0:4], resultMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(meta)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(meta, crcTable))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, crcTable))
+	for _, chunk := range [][]byte{hdr[:], meta, payload} {
+		if _, err := tmp.Write(chunk); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key)); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok { // concurrent Put of the same key won
+		s.ll.MoveToFront(el)
+		return nil
+	}
+	s.items[key] = s.ll.PushFront(&resultEntry{key: key, size: int64(len(payload))})
+	s.bytes += int64(len(payload))
+	s.evictLocked()
+	return nil
+}
+
+func (s *Results) evictLocked() {
+	for (s.maxEntries > 0 && s.ll.Len() > s.maxEntries) ||
+		(s.maxBytes > 0 && s.bytes > s.maxBytes) {
+		back := s.ll.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(*resultEntry)
+		s.ll.Remove(back)
+		delete(s.items, ent.key)
+		s.bytes -= ent.size
+		s.evictions++
+		os.Remove(filepath.Join(s.dir, ent.key))
+	}
+}
+
+// dropLocked removes a corrupt entry discovered during a read.
+func (s *Results) drop(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		ent := el.Value.(*resultEntry)
+		s.ll.Remove(el)
+		delete(s.items, key)
+		s.bytes -= ent.size
+	}
+	os.Remove(filepath.Join(s.dir, key))
+}
+
+// touch refreshes key's recency; reports whether it is indexed.
+func (s *Results) touch(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// Get reads and fully verifies the result under key. Corruption
+// (checksum or framing mismatch) deletes the file and reports a miss —
+// the caller recomputes, exactly as for an evicted entry.
+func (s *Results) Get(key string) (meta, payload []byte, ok bool) {
+	if !validKey(key) || !s.touch(key) {
+		return nil, nil, false
+	}
+	f, err := os.Open(filepath.Join(s.dir, key))
+	if err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	defer f.Close()
+	metaLen, payLen, metaCRC, payCRC, err := readHeader(f)
+	if err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	meta = make([]byte, metaLen)
+	payload = make([]byte, payLen)
+	if _, err := io.ReadFull(f, meta); err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	if _, err := io.ReadFull(f, payload); err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	if crc32.Checksum(meta, crcTable) != metaCRC || crc32.Checksum(payload, crcTable) != payCRC {
+		s.drop(key)
+		return nil, nil, false
+	}
+	return meta, payload, true
+}
+
+// Open returns the verified meta plus a streaming reader over the
+// payload, so the caller can serve a result without buffering it. The
+// payload checksum is verified incrementally; if the bytes on disk do
+// not add up, the reader's final Read returns ErrCorrupt (after which
+// the entry has been dropped) — by then earlier bytes may already have
+// been sent, which is why streaming consumers must be able to abort
+// (chunked HTTP transfer does this naturally).
+func (s *Results) Open(key string) (meta []byte, r io.ReadCloser, size int64, ok bool) {
+	if !validKey(key) || !s.touch(key) {
+		return nil, nil, 0, false
+	}
+	f, err := os.Open(filepath.Join(s.dir, key))
+	if err != nil {
+		s.drop(key)
+		return nil, nil, 0, false
+	}
+	metaLen, payLen, metaCRC, payCRC, err := readHeader(f)
+	if err != nil {
+		f.Close()
+		s.drop(key)
+		return nil, nil, 0, false
+	}
+	meta = make([]byte, metaLen)
+	if _, err := io.ReadFull(f, meta); err != nil || crc32.Checksum(meta, crcTable) != metaCRC {
+		f.Close()
+		s.drop(key)
+		return nil, nil, 0, false
+	}
+	vr := &verifyReader{
+		r:    io.LimitReader(f, payLen),
+		f:    f,
+		want: payCRC,
+		left: payLen,
+		bad:  func() { s.drop(key) },
+	}
+	return meta, vr, payLen, true
+}
+
+// verifyReader streams a payload while accumulating its CRC; EOF is
+// only reported once the checksum matches, otherwise ErrCorrupt.
+type verifyReader struct {
+	r    io.Reader
+	f    *os.File
+	want uint32
+	sum  uint32
+	left int64
+	bad  func()
+}
+
+func (v *verifyReader) Read(p []byte) (int, error) {
+	n, err := v.r.Read(p)
+	if n > 0 {
+		v.sum = crc32.Update(v.sum, crcTable, p[:n])
+		v.left -= int64(n)
+	}
+	if err == io.EOF {
+		if v.left != 0 || v.sum != v.want {
+			if v.bad != nil {
+				v.bad()
+				v.bad = nil
+			}
+			return n, ErrCorrupt
+		}
+	}
+	return n, err
+}
+
+func (v *verifyReader) Close() error { return v.f.Close() }
+
+// Len returns the number of stored results.
+func (s *Results) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes returns the accounted payload bytes on disk.
+func (s *Results) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Evictions returns the number of results evicted since open.
+func (s *Results) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Keys returns stored keys from most to least recently used (tests).
+func (s *Results) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*resultEntry).key)
+	}
+	return keys
+}
+
+// validKey accepts only lowercase-hex content addresses: result keys
+// name files, so anything else (path separators, dots) is refused
+// outright rather than sanitized.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tkey makes a valid (hex) store key from a short name.
+func tkey(n int) string { return fmt.Sprintf("%02x", n) }
+
+func openStore(t *testing.T, dir string, maxEntries int, maxBytes int64) *Results {
+	t.Helper()
+	s, err := OpenResults(dir, maxEntries, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir(), 0, 0)
+	meta := []byte(`{"num_seqs":3}`)
+	payload := []byte(">a\nACDEF\n>b\nACD-F\n>c\nAC-EF\n")
+	if err := s.Put("ab12", meta, payload); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotPayload, ok := s.Get("ab12")
+	if !ok || !bytes.Equal(gotMeta, meta) || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("Get: ok=%v meta=%q payload=%q", ok, gotMeta, gotPayload)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len(payload)) {
+		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	if _, _, ok := s.Get("cd34"); ok {
+		t.Fatal("Get of a missing key succeeded")
+	}
+	// Invalid keys (path traversal shapes) are refused outright.
+	if err := s.Put("../escape", meta, payload); err == nil {
+		t.Fatal("Put accepted a non-hex key")
+	}
+	if _, _, ok := s.Get("../escape"); ok {
+		t.Fatal("Get accepted a non-hex key")
+	}
+}
+
+func TestResultsStreamingOpen(t *testing.T) {
+	s := openStore(t, t.TempDir(), 0, 0)
+	payload := []byte(strings.Repeat(">s\nACDEFGHIKLMNPQRSTVWY\n", 4096))
+	if err := s.Put("0a1b", []byte(`{}`), payload); err != nil {
+		t.Fatal(err)
+	}
+	meta, rc, size, ok := s.Open("0a1b")
+	if !ok {
+		t.Fatal("Open missed a stored key")
+	}
+	defer rc.Close()
+	if string(meta) != "{}" || size != int64(len(payload)) {
+		t.Fatalf("Open meta=%q size=%d", meta, size)
+	}
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("streamed %d bytes differ from stored %d", len(got), len(payload))
+	}
+}
+
+func TestResultsCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0, 0)
+	payload := []byte(strings.Repeat("ACDEFGHIKL", 100))
+	if err := s.Put("ff01", []byte(`{}`), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk.
+	path := filepath.Join(dir, "ff01")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-10] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("ff01"); ok {
+		t.Fatal("Get returned corrupt payload")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file was not deleted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after corruption drop", s.Len())
+	}
+}
+
+func TestResultsStreamingDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0, 0)
+	payload := []byte(strings.Repeat("ACDEFGHIKL", 1000))
+	if err := s.Put("ff02", []byte(`{}`), payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ff02")
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)-1] ^= 0xff
+	os.WriteFile(path, buf, 0o644)
+
+	_, rc, _, ok := s.Open("ff02")
+	if !ok {
+		t.Fatal("Open refused (header is intact; corruption is in the payload)")
+	}
+	defer rc.Close()
+	if _, err := io.ReadAll(rc); err == nil {
+		t.Fatal("streaming a corrupt payload reported clean EOF")
+	}
+	if s.Len() != 0 {
+		t.Fatal("corrupt entry not dropped after streaming detection")
+	}
+}
+
+func TestResultsEvictionDeterminism(t *testing.T) {
+	s := openStore(t, t.TempDir(), 3, 0)
+	pay := func(n int) []byte { return bytes.Repeat([]byte{'A'}, 10+n) }
+	for i := 1; i <= 5; i++ {
+		if err := s.Put(tkey(i), []byte(`{}`), pay(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strict LRU: the three most recent puts survive, oldest first out.
+	if got, want := s.Keys(), []string{tkey(5), tkey(4), tkey(3)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after 5 puts: %v, want %v", got, want)
+	}
+	if s.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions())
+	}
+	// A Get refreshes recency deterministically.
+	if _, _, ok := s.Get(tkey(3)); !ok {
+		t.Fatal("expected tkey(3) present")
+	}
+	if err := s.Put(tkey(6), []byte(`{}`), pay(6)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Keys(), []string{tkey(6), tkey(3), tkey(5)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after Get+Put: %v, want %v", got, want)
+	}
+
+	// Byte bound: a store capped at 25 payload bytes holds at most two
+	// 12-byte payloads.
+	s2 := openStore(t, t.TempDir(), 0, 25)
+	for i := 1; i <= 4; i++ {
+		if err := s2.Put(tkey(10+i), []byte(`{}`), bytes.Repeat([]byte{'B'}, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := s2.Keys(), []string{tkey(14), tkey(13)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("byte-bounded keys: %v, want %v", got, want)
+	}
+	// An oversized payload is refused outright, evicting nothing.
+	if err := s2.Put(tkey(20), []byte(`{}`), bytes.Repeat([]byte{'C'}, 26)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Keys(), []string{tkey(14), tkey(13)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after oversized put: %v, want %v", got, want)
+	}
+}
+
+func TestResultsRestartRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, 0, 0)
+	var wantBytes int64
+	for i := 1; i <= 3; i++ {
+		payload := bytes.Repeat([]byte{'A'}, 100*i)
+		if err := s.Put(tkey(i), []byte(`{}`), payload); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes += int64(len(payload))
+		// Distinct mtimes so the rebuilt recency order is deterministic.
+		mt := time.Now().Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, tkey(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave a stray temp file behind, as a crash mid-Put would.
+	if err := os.WriteFile(filepath.Join(dir, ".put-stray"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, 0, 0)
+	if s2.Len() != 3 || s2.Bytes() != wantBytes {
+		t.Fatalf("rebuilt: Len=%d Bytes=%d, want 3/%d", s2.Len(), s2.Bytes(), wantBytes)
+	}
+	if got, want := s2.Keys(), []string{tkey(3), tkey(2), tkey(1)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebuilt recency: %v, want %v", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".put-stray")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived the scan")
+	}
+	// Reopening with tighter bounds evicts deterministically (oldest
+	// mtime first).
+	s3 := openStore(t, dir, 2, 0)
+	if got, want := s3.Keys(), []string{tkey(3), tkey(2)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounded reopen: %v, want %v", got, want)
+	}
+}
+
+func TestResultsConcurrentAccess(t *testing.T) {
+	s := openStore(t, t.TempDir(), 8, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				key := tkey(i % 12)
+				payload := bytes.Repeat([]byte{'A'}, 64)
+				if err := s.Put(key, []byte(`{}`), payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, pl, ok := s.Get(key); ok && len(pl) != 64 {
+					t.Errorf("payload len %d", len(pl))
+					return
+				}
+				if _, rc, _, ok := s.Open(key); ok {
+					io.Copy(io.Discard, rc)
+					rc.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 8 {
+		t.Fatalf("Len = %d exceeds bound", s.Len())
+	}
+}

@@ -3,7 +3,10 @@
 # submit a small FASTA over HTTP, poll to completion, fetch the result
 # and diff it byte-for-byte against the samplealign batch CLI on the
 # same input and options. Also checks the content-addressed cache
-# (identical resubmission answered instantly) and overload behaviour.
+# (identical resubmission answered instantly) and restart recovery:
+# the server is stopped and restarted on the same data directory, and
+# the pre-restart result must be served from disk — byte-identical,
+# with zero alignments recomputed (asserted via /metrics).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +22,7 @@ echo "== input + batch reference =="
 "$WORK/samplealign" -in "$WORK/in.fa" -p 3 -out "$WORK/batch.fa"
 
 echo "== start server =="
-"$WORK/samplealignsrv" -addr "127.0.0.1:$PORT" -p 3 2>"$WORK/srv.log" &
+"$WORK/samplealignsrv" -addr "127.0.0.1:$PORT" -p 3 -data-dir "$WORK/data" 2>"$WORK/srv.log" &
 SRV=$!
 trap 'kill $SRV 2>/dev/null || true; wait $SRV 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -67,5 +70,36 @@ echo "== metrics sanity =="
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q '^samplealign_cache_hits_total [1-9]' || { echo "no cache hits recorded"; exit 1; }
 echo "$METRICS" | grep -q '^samplealign_jobs_completed_total' || { echo "no completion counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_store_entries [1-9]' || { echo "result not persisted to the store"; exit 1; }
+
+echo "== restart recovery: stop (SIGTERM drain), restart on the same data dir =="
+kill -TERM $SRV
+wait $SRV 2>/dev/null || true
+"$WORK/samplealignsrv" -addr "127.0.0.1:$PORT" -p 3 -data-dir "$WORK/data" 2>"$WORK/srv2.log" &
+SRV=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+grep -q 'recovery from' "$WORK/srv2.log" || { echo "no recovery log line"; cat "$WORK/srv2.log"; exit 1; }
+grep -q 'clean shutdown: true' "$WORK/srv2.log" || { echo "shutdown was not journaled as clean"; cat "$WORK/srv2.log"; exit 1; }
+
+echo "== pre-restart job is still visible; its result streams from disk =="
+STATE2=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field state)
+[ "$STATE2" = done ] || { echo "recovered job state = $STATE2, want done"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$ID/result" -o "$WORK/recovered.fa"
+diff "$WORK/batch.fa" "$WORK/recovered.fa"
+echo "recovered result byte-identical to samplealign output"
+
+echo "== identical resubmission after restart hits the disk store =="
+RESUBMIT2=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/jobs?procs=3")
+echo "$RESUBMIT2" | grep -q '"cached": true' || { echo "post-restart resubmission missed: $RESUBMIT2"; exit 1; }
+
+echo "== metrics: zero alignments recomputed since restart =="
+METRICS2=$(curl -fsS "$BASE/metrics")
+echo "$METRICS2" | grep -q '^samplealign_cache_misses_total 0$' || { echo "restart recomputed an alignment"; echo "$METRICS2" | grep ^samplealign_cache; exit 1; }
+echo "$METRICS2" | grep -q '^samplealign_results_streamed_total [1-9]' || { echo "recovered result was not streamed from disk"; exit 1; }
+echo "$METRICS2" | grep -q '^samplealign_store_hits_total [1-9]' || { echo "resubmission did not hit the disk store"; exit 1; }
 
 echo "server smoke OK"

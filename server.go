@@ -31,6 +31,27 @@ type ServerConfig struct {
 	CacheEntries int   // entry bound (default 256; -1 disables)
 	CacheBytes   int64 // byte bound (default 64 MiB; -1 unbounded)
 
+	// DataDir enables durability: accepted jobs are journaled to a
+	// write-ahead log before they can run (replayed on startup, so a
+	// restart re-enqueues unfinished jobs and keeps finished ones
+	// visible) and results are persisted content-addressed on disk,
+	// backing the in-memory cache as a second tier and serving result
+	// downloads as streams. Empty = fully in-memory, exactly the
+	// pre-persistence behaviour.
+	DataDir      string
+	StoreEntries int   // disk store entry bound (default 4096; -1 disables the disk tier)
+	StoreBytes   int64 // disk store byte bound (default 1 GiB; -1 unbounded)
+
+	// DrainTimeout bounds the graceful-shutdown drain: how long
+	// ListenAndServe waits for queued and running jobs to finish after
+	// its context is canceled before hard-canceling the rest (default
+	// 30s; < 0 skips draining).
+	DrainTimeout time.Duration
+
+	// Logf receives operational warnings (journal I/O errors, recovery
+	// notes). nil = silent.
+	Logf func(format string, args ...any)
+
 	// Optional TCP rank cluster: when Workers lists samplealignd
 	// worker daemons (their -worker-ctrl addresses), jobs fan out to
 	// them with this server as rank 0, listening on ClusterSelf for
@@ -43,7 +64,10 @@ type ServerConfig struct {
 // queue with admission control in front of the Sample-Align-D
 // pipeline, plus a content-addressed result cache. Obtain the HTTP API
 // with Handler and serve it with any http.Server; Close drains it.
-type Server struct{ inner *serve.Server }
+type Server struct {
+	inner        *serve.Server
+	drainTimeout time.Duration
+}
 
 // NewServer builds and starts a job service (its worker pool runs until
 // Close). See ServerConfig for the knobs and Handler for the API.
@@ -70,6 +94,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		MaxQueued:     cfg.MaxQueued,
 		CacheEntries:  cfg.CacheEntries,
 		CacheBytes:    cfg.CacheBytes,
+		DataDir:       cfg.DataDir,
+		StoreEntries:  cfg.StoreEntries,
+		StoreBytes:    cfg.StoreBytes,
+		Logf:          cfg.Logf,
 	}
 	if len(cfg.ClusterWorkers) > 0 {
 		sc.Executor = &serve.Cluster{Workers: cfg.ClusterWorkers, SelfAddr: cfg.ClusterSelf}
@@ -77,8 +105,44 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		// extra concurrency would only park jobs on the executor mutex.
 		sc.MaxConcurrent = 1
 	}
-	return &Server{inner: serve.New(sc)}, nil
+	inner, err := serve.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	drain := cfg.DrainTimeout
+	if drain == 0 {
+		drain = 30 * time.Second
+	}
+	return &Server{inner: inner, drainTimeout: drain}, nil
 }
+
+// RecoveryInfo summarises what the write-ahead journal replay
+// reconstructed at startup (see ServerConfig.DataDir).
+type RecoveryInfo struct {
+	Enabled        bool // a DataDir is configured
+	JournalRecords int  // intact journal records replayed
+	Finished       int  // terminal jobs restored to the job table
+	Requeued       int  // unfinished jobs re-enqueued for execution
+	CleanShutdown  bool // the previous process closed cleanly
+}
+
+// Recovery reports what startup journal replay found; the zero value
+// (Enabled false) without a DataDir.
+func (s *Server) Recovery() RecoveryInfo {
+	r := s.inner.Recovery()
+	return RecoveryInfo{
+		Enabled:        r.Enabled,
+		JournalRecords: r.JournalRecords,
+		Finished:       r.Finished,
+		Requeued:       r.Requeued,
+		CleanShutdown:  r.CleanShutdown,
+	}
+}
+
+// Drain stops admission (new submissions get 503 while status and
+// result reads keep working) and waits up to timeout for queued and
+// running jobs to finish; it reports whether the server drained fully.
+func (s *Server) Drain(timeout time.Duration) bool { return s.inner.Drain(timeout) }
 
 // Handler returns the HTTP API:
 //
@@ -99,23 +163,38 @@ func (s *Server) Handler() http.Handler { return s.inner.Handler() }
 func (s *Server) Close() { s.inner.Close() }
 
 // ListenAndServe runs the job service on addr until ctx is cancelled,
-// then shuts the HTTP listener down gracefully and drains the job pool.
+// then shuts down gracefully: new submissions are refused with 503
+// while queued and running jobs drain (up to DrainTimeout; status and
+// result reads keep being served), the HTTP listener closes, and the
+// pool is torn down — with a DataDir, a clean-shutdown record is
+// journaled last.
 func ListenAndServe(ctx context.Context, addr string, cfg ServerConfig) error {
 	srv, err := NewServer(cfg)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	return srv.ListenAndServe(ctx, addr)
+}
+
+// ListenAndServe runs an already-constructed server on addr until ctx
+// is cancelled (see the package-level ListenAndServe), then closes it.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	defer s.Close()
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return ctx },
+		BaseContext:       func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	select {
 	case <-ctx.Done():
+		// Refuse new work but keep the listener up while jobs drain, so
+		// waiting clients can still poll status and fetch results.
+		if s.drainTimeout >= 0 {
+			s.Drain(s.drainTimeout)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutCtx)
