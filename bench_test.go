@@ -471,6 +471,84 @@ func BenchmarkMafftWorkers(b *testing.B) {
 	}
 }
 
+// ---- parallel guide-tree construction (tiled distance matrix + UPGMA/NJ) ----
+
+// guideTreeFixture lazily builds the N=2000 profile set the
+// construction benchmarks share (generation and counting are setup, not
+// measured).
+var guideTreeFixture struct {
+	once     sync.Once
+	profiles []kmer.Profile
+	dist     *kmer.Matrix
+	err      error
+}
+
+func loadGuideTreeFixture(b *testing.B) ([]kmer.Profile, *kmer.Matrix) {
+	b.Helper()
+	f := &guideTreeFixture
+	f.once.Do(func() {
+		seqs, err := GenerateDiverseSet(2000, 120, 109)
+		if err != nil {
+			f.err = err
+			return
+		}
+		counter := kmer.MustCounter(bio.Dayhoff6, kmer.DefaultK)
+		f.profiles = counter.Profiles(seqs, 0)
+		f.dist = kmer.DistanceMatrix(f.profiles, 0)
+	})
+	if f.err != nil {
+		b.Fatal(f.err)
+	}
+	return f.profiles, f.dist
+}
+
+// BenchmarkDistanceMatrixTiled sweeps worker counts over the tiled
+// O(N²) k-mer distance matrix at N=2000 — the first half of guide-tree
+// construction. workers=1 is the sequential baseline the BENCH_*.json
+// speedup series is computed against; on a machine with >= 4 cores
+// workers=4 should run >= 2x faster (this container may have fewer).
+func BenchmarkDistanceMatrixTiled(b *testing.B) {
+	profiles, _ := loadGuideTreeFixture(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=2000/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kmer.DistanceMatrixTiled(b.Context(), profiles, w, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGuideTreeWorkers sweeps worker counts over tree building —
+// the second half of guide-tree construction: UPGMA at N=2000 (its
+// O(n²) scans parallelise) and NJ at N=600 (O(n³), the CLUSTALW-scale
+// input class).
+func BenchmarkGuideTreeWorkers(b *testing.B) {
+	profiles, dist := loadGuideTreeFixture(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("upgma/n=2000/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.UPGMAWorkers(dist, nil, w)
+			}
+		})
+	}
+	njDist, err := kmer.DistanceMatrixTiled(b.Context(), profiles[:600], 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nj/n=600/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.NeighborJoiningWorkers(njDist, nil, w)
+			}
+		})
+	}
+}
+
 // ---- micro-benchmarks of the hot kernels ----
 
 func BenchmarkKmerProfile(b *testing.B) {

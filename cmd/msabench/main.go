@@ -36,7 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduce real-run sizes for fast smoke runs")
 	seed := flag.Int64("seed", 2008, "master RNG seed")
 	workers := flag.Int("workers", 0,
-		"shared-memory workers for real runs; 0 keeps the historical defaults (1 per distributed rank, all cores for sequential baselines)")
+		"shared-memory workers for real runs, covering guide-tree construction (tiled distance matrix, UPGMA/NJ) and merging; 0 keeps the historical defaults (1 per distributed rank, all cores for sequential baselines)")
 	jsonOut := flag.String("json", "",
 		"write machine-readable results of every real (non-simulated) run to this file")
 	flag.Parse()

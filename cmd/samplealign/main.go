@@ -22,7 +22,7 @@ func main() {
 	in := flag.String("in", "", "input FASTA file (required)")
 	out := flag.String("out", "", "output FASTA file (default stdout)")
 	procs := flag.Int("p", 4, "number of ranks (simulated cluster nodes)")
-	workers := flag.Int("workers", 1, "shared-memory workers per rank (0 = all cores)")
+	workers := flag.Int("workers", 1, "shared-memory workers per rank, covering guide-tree construction (distance matrix, UPGMA/NJ) and merging; identical output for any value (0 = all cores)")
 	aligner := flag.String("aligner", "muscle",
 		fmt.Sprintf("bucket aligner: %s", strings.Join(samplealign.SequentialAligners(), "|")))
 	sampleSize := flag.Int("samples", 0, "samples per rank for the globalised rank (0 = p-1)")

@@ -36,7 +36,7 @@ func main() {
 	addrList := flag.String("addrs", "", "comma-separated listen addresses, one per rank (required)")
 	in := flag.String("in", "", "this rank's input FASTA shard (required)")
 	out := flag.String("out", "", "output FASTA file (rank 0 only; default stdout)")
-	workers := flag.Int("workers", 1, "shared-memory workers in this rank (0 = all cores)")
+	workers := flag.Int("workers", 1, "shared-memory workers in this rank, covering guide-tree construction (distance matrix, UPGMA/NJ) and merging; identical output for any value (0 = all cores)")
 	aligner := flag.String("aligner", "muscle", "bucket aligner")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	workerCtrl := flag.String("worker-ctrl", "", "serve cluster jobs: control listen address (see samplealignsrv -cluster)")

@@ -101,8 +101,8 @@ func main() {
 	}
 	if rec := srv.Recovery(); rec.Enabled {
 		fmt.Fprintf(os.Stderr,
-			"samplealignsrv: recovery from %s: %d journal records, %d finished jobs restored, %d re-enqueued (clean shutdown: %v)\n",
-			*dataDir, rec.JournalRecords, rec.Finished, rec.Requeued, rec.CleanShutdown)
+			"samplealignsrv: recovery from %s: %d journal records, %d finished jobs restored, %d re-enqueued (%d interrupted by the previous shutdown; clean shutdown: %v)\n",
+			*dataDir, rec.JournalRecords, rec.Finished, rec.Requeued, rec.Interrupted, rec.CleanShutdown)
 	}
 	mode := "in-process ranks"
 	if len(cfg.ClusterWorkers) > 0 {

@@ -144,7 +144,7 @@ func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.A
 	if a.opts.Extend {
 		lib = a.extendLibrary(lib, clean)
 	}
-	gt := tree.NeighborJoining(dist, bio.IDs(seqs))
+	gt := tree.NeighborJoiningWorkers(dist, bio.IDs(seqs), a.opts.Workers)
 	rows, ids, err := a.progressive(ctx, clean, gt, lib)
 	if err != nil {
 		return nil, err

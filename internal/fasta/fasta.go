@@ -112,6 +112,14 @@ func Read(r io.Reader) ([]bio.Sequence, error) {
 			if b == ' ' || b == '\t' {
 				continue
 			}
+			if b == '>' {
+				// '>' mid-line is never residue data; it is the
+				// signature of a glued header (a lost newline before a
+				// record). Accepting it would also make the record
+				// ambiguous to re-serialise: rewrapped at LineWidth the
+				// '>' can land at line start and parse as a header.
+				return nil, fmt.Errorf("fasta: line %d: '>' inside sequence data", line)
+			}
 			buf.WriteByte(b)
 		}
 	}

@@ -217,17 +217,99 @@ func (m *Matrix) Set(i, j int, v float64) {
 	m.d[m.idx(i, j)] = v
 }
 
+// DefaultTileSize is the edge length of the blocks the distance-matrix
+// pair space is tiled into. A 128×128 tile touches 256 profiles' worth
+// of entries — small enough to stay cache-resident while a worker
+// sweeps the tile, large enough that tile dispatch overhead vanishes
+// against the O(tile²) merge work inside.
+const DefaultTileSize = 128
+
 // DistanceMatrix computes all pairwise k-mer distances between the
-// profiles, in parallel across rows.
+// profiles, in parallel across cache-sized tiles of the upper-
+// triangular pair space (see DistanceMatrixTiled).
 func DistanceMatrix(profiles []Profile, workers int) *Matrix {
+	m, _ := DistanceMatrixTiled(context.Background(), profiles, workers, 0)
+	return m
+}
+
+// DistanceMatrixContext is DistanceMatrix bound to a context: this
+// O(N²) pass dominates guide-tree construction on large inputs, so it
+// stops dispatching tiles on cancellation.
+func DistanceMatrixContext(ctx context.Context, profiles []Profile, workers int) (*Matrix, error) {
+	return DistanceMatrixTiled(ctx, profiles, workers, 0)
+}
+
+// DistanceMatrixTiled computes all pairwise k-mer distances with the
+// upper triangle split into tile×tile blocks handed to workers
+// dynamically (par.ForDynamicCtx). The one k-mer counting pass over
+// the sequences is shared by every tile — profiles arrive precomputed
+// — and within a tile each row profile is merged against the tile's
+// whole column range while it is cache-hot, instead of fanning out per
+// row. Every pair is written by exactly one tile with the same
+// floating-point operations as the sequential loop, so the result is
+// bit-identical for every workers value and every tile size. tile <= 0
+// selects DefaultTileSize.
+func DistanceMatrixTiled(ctx context.Context, profiles []Profile, workers int, tile int) (*Matrix, error) {
 	n := len(profiles)
 	m := NewMatrix(n)
-	par.ForDynamic(n, workers, func(i int) {
-		for j := i + 1; j < n; j++ {
-			m.Set(i, j, Distance(profiles[i], profiles[j]))
+	if n < 2 {
+		return m, ctx.Err()
+	}
+	if tile <= 0 {
+		tile = DefaultTileSize
+		// Shrink the default until the dynamic scheduler has around
+		// four tiles per worker — at N <= DefaultTileSize a single tile
+		// would serialize the whole triangle, losing to the per-row
+		// fan-out this replaced. The floor keeps per-tile work above
+		// dispatch cost; explicit tile sizes are honoured as given.
+		w := workers
+		if w <= 0 {
+			w = par.DefaultWorkers()
+		}
+		for w > 1 && tile > 16 {
+			nb := (n + tile - 1) / tile
+			if nb*(nb+1)/2 >= 4*w {
+				break
+			}
+			tile /= 2
+		}
+	}
+	if tile > n {
+		tile = n
+	}
+	nb := (n + tile - 1) / tile
+	type block struct{ rb, cb int }
+	tiles := make([]block, 0, nb*(nb+1)/2)
+	for rb := 0; rb < nb; rb++ {
+		for cb := rb; cb < nb; cb++ {
+			tiles = append(tiles, block{rb, cb})
+		}
+	}
+	err := par.ForDynamicCtx(ctx, len(tiles), workers, func(t int) {
+		rb, cb := tiles[t].rb, tiles[t].cb
+		rhi := rb*tile + tile
+		if rhi > n {
+			rhi = n
+		}
+		chi := cb*tile + tile
+		if chi > n {
+			chi = n
+		}
+		for i := rb * tile; i < rhi; i++ {
+			pi := profiles[i]
+			jlo := cb * tile
+			if jlo <= i {
+				jlo = i + 1 // diagonal tile: stay above the diagonal
+			}
+			for j := jlo; j < chi; j++ {
+				m.Set(i, j, Distance(pi, profiles[j]))
+			}
 		}
 	})
-	return m
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // DefaultRankScale calibrates ranks to the paper's reported numeric range.

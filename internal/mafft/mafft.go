@@ -107,8 +107,11 @@ func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.A
 		return nil, err
 	}
 	profiles := counter.Profiles(seqs, a.opts.Workers)
-	dist := kmer.DistanceMatrix(profiles, a.opts.Workers)
-	gt := tree.UPGMA(dist, bio.IDs(seqs))
+	dist, err := kmer.DistanceMatrixContext(ctx, profiles, a.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gt := tree.UPGMAWorkers(dist, bio.IDs(seqs), a.opts.Workers)
 
 	aln, err := a.alignWithTree(ctx, seqs, gt)
 	if err != nil {

@@ -158,10 +158,7 @@ func (p *Progressive) DistanceMatrixContext(ctx context.Context, seqs []bio.Sequ
 			return nil, err
 		}
 		profiles := counter.Profiles(seqs, p.opts.Workers)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return kmer.DistanceMatrix(profiles, p.opts.Workers), nil
+		return kmer.DistanceMatrixContext(ctx, profiles, p.opts.Workers)
 	case PIDDistance:
 		n := len(seqs)
 		m := kmer.NewMatrix(n)
@@ -181,13 +178,15 @@ func (p *Progressive) DistanceMatrixContext(ctx context.Context, seqs []bio.Sequ
 }
 
 // GuideTree builds the configured guide tree from a distance matrix.
+// Construction runs the nearest-neighbour scans on Options.Workers
+// workers; the tree is identical for every worker count.
 func (p *Progressive) GuideTree(d *kmer.Matrix, seqs []bio.Sequence) *tree.Node {
 	names := bio.IDs(seqs)
 	switch p.opts.Tree {
 	case NJTree:
-		return tree.NeighborJoining(d, names)
+		return tree.NeighborJoiningWorkers(d, names, p.opts.Workers)
 	default:
-		return tree.UPGMA(d, names)
+		return tree.UPGMAWorkers(d, names, p.opts.Workers)
 	}
 }
 

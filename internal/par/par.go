@@ -142,6 +142,36 @@ func ForDynamicCtx(ctx context.Context, n, workers int, body func(i int)) error 
 	return ctx.Err()
 }
 
+// ForBlocks runs body(lo, hi) over contiguous blocks of [0,n) of the
+// given block size, dynamically scheduled across workers. Blocking
+// amortises dispatch overhead when the per-index work is small (row
+// sums, nearest-neighbour cache refreshes) while keeping the dynamic
+// load balance of ForDynamic for blocks of uneven cost.
+func ForBlocks(n, block, workers int, body func(lo, hi int)) {
+	_ = ForBlocksCtx(context.Background(), n, block, workers, body)
+}
+
+// ForBlocksCtx is ForBlocks bound to a context: the dispatcher stops
+// handing out blocks once ctx is cancelled and ForBlocksCtx returns
+// ctx.Err() (in-flight blocks complete first).
+func ForBlocksCtx(ctx context.Context, n, block, workers int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if block <= 0 {
+		block = 1
+	}
+	blocks := (n + block - 1) / block
+	return ForDynamicCtx(ctx, blocks, workers, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}
+
 // Map applies f to every element index of a length-n virtual slice and
 // collects results in order.
 func Map[T any](n, workers int, f func(i int) T) []T {

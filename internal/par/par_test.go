@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -73,5 +74,37 @@ func TestForMatchesSequentialProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestForBlocksCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, block, workers int }{
+		{100, 7, 4}, {100, 1, 8}, {100, 100, 4}, {100, 1000, 2}, {3, 2, 0}, {0, 4, 4},
+	} {
+		hits := make([]int64, tc.n)
+		ForBlocks(tc.n, tc.block, tc.workers, func(lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("n=%d block=%d: bad range [%d,%d)", tc.n, tc.block, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d block=%d workers=%d: index %d ran %d times",
+					tc.n, tc.block, tc.workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForBlocksCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int64(0)
+	err := ForBlocksCtx(ctx, 1000, 10, 4, func(lo, hi int) { atomic.AddInt64(&ran, 1) })
+	if err == nil {
+		t.Fatal("cancelled ForBlocksCtx returned nil error")
 	}
 }

@@ -21,6 +21,7 @@ type Metrics struct {
 	StoreHits   stats.Counter // cache hits served by the disk tier
 	Streamed    stats.Counter // results streamed from the disk store
 	Recovered   stats.Counter // jobs re-enqueued by journal replay at boot
+	Interrupted stats.Counter // jobs hard-canceled by shutdown (journaled for requeue at next boot)
 	Draining    stats.Gauge   // 1 while the server refuses new submissions to drain
 
 	QueueWait  *stats.LatencyHistogram // seconds from submit to execution start
@@ -66,6 +67,7 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 	counter("samplealign_jobs_rejected_total", "Submissions rejected by admission control (429).", m.Rejected.Value())
 	counter("samplealign_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.Coalesced.Value())
 	counter("samplealign_jobs_recovered_total", "Jobs re-enqueued by journal replay at startup.", m.Recovered.Value())
+	counter("samplealign_jobs_interrupted_total", "Jobs hard-canceled by shutdown, journaled for requeue at next boot.", m.Interrupted.Value())
 	counter("samplealign_cache_hits_total", "Submissions answered from the result cache tiers.", m.CacheHits.Value())
 	counter("samplealign_cache_misses_total", "Submissions that started a new computation.", m.CacheMisses.Value())
 	counter("samplealign_cache_evictions_total", "Results evicted from the in-memory cache.", evictions)

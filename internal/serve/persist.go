@@ -102,6 +102,7 @@ type RecoveryInfo struct {
 	JournalRecords int  `json:"journal_records"` // intact records replayed
 	Finished       int  `json:"finished"`        // terminal jobs restored to the job table
 	Requeued       int  `json:"requeued"`        // unfinished jobs re-enqueued
+	Interrupted    int  `json:"interrupted"`     // of Requeued: drain-timeout casualties of the previous shutdown
 	CleanShutdown  bool `json:"clean_shutdown"`  // previous process closed cleanly
 }
 
@@ -169,6 +170,14 @@ func finishRecord(id, key string, state State, errMsg string, summary *resultMet
 	return store.Record{Type: typ, Job: id, Key: key, Time: at, Data: data}
 }
 
+// interruptRecord marks a job killed by the shutdown path itself. It
+// carries no state: at replay it is a hint ("the last process died on
+// purpose with this job still live"), not a terminal record — the job
+// re-enqueues from its submit record like a crash victim.
+func interruptRecord(id, key string, at time.Time) store.Record {
+	return store.Record{Type: store.RecInterrupt, Job: id, Key: key, Time: at}
+}
+
 // journalSubmit makes an accepted job durable: options plus the full
 // input, enough to re-run it from a cold start.
 func (s *Server) journalSubmit(job *Job, seqs []bio.Sequence) {
@@ -204,10 +213,22 @@ func (s *Server) journalTerminalJob(job *Job) {
 		submitData{Opts: job.Opts, NumSeqs: job.NumSeqs, Cached: true}))
 }
 
-// journalFinish records a job's terminal state.
-func (s *Server) journalFinish(id, key string, state State, errMsg string, summary *Result, at time.Time) {
+// journalFinish records a job's terminal state. A cancellation whose
+// cause is the shutdown itself (ErrInterrupted: the drain window
+// expired, or Close ran with the job still live) is journaled as an
+// interrupt instead — terminal for this process, re-enqueueable for
+// the next.
+func (s *Server) journalFinish(id, key string, state State, cause error, summary *Result, at time.Time) {
 	if s.journal == nil {
 		return
+	}
+	if state == StateCanceled && errors.Is(cause, ErrInterrupted) {
+		s.journalAppend(interruptRecord(id, key, at))
+		return
+	}
+	errMsg := ""
+	if cause != nil {
+		errMsg = cause.Error()
 	}
 	s.journalAppend(finishRecord(id, key, state, errMsg, metaOf(summary), at))
 }
@@ -230,14 +251,15 @@ func (s *Server) storePut(key string, res *Result) {
 // Runs single-threaded from New — no dispatchers, no HTTP yet.
 func (s *Server) recoverFromJournal(recs []store.Record) {
 	type rj struct {
-		id, key   string
-		submitted time.Time
-		sub       *submitData
-		started   time.Time
-		state     State
-		errMsg    string
-		summary   *resultMeta
-		finished  time.Time
+		id, key     string
+		submitted   time.Time
+		sub         *submitData
+		started     time.Time
+		state       State
+		errMsg      string
+		summary     *resultMeta
+		finished    time.Time
+		interrupted bool // hard-canceled by the previous shutdown, not by a caller
 	}
 	var order []*rj
 	byID := make(map[string]*rj)
@@ -283,6 +305,14 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			r.errMsg = fd.Error
 			r.summary = fd.Summary
 			r.finished = rec.Time
+		case store.RecInterrupt:
+			// Deliberately NOT terminal: the previous shutdown killed
+			// this job mid-flight, so it falls through to the requeue
+			// path below exactly like a crash victim (unless a real
+			// terminal record also exists, which wins).
+			if r := entry(rec); !r.state.Terminal() {
+				r.interrupted = true
+			}
 		}
 	}
 	s.recovery.JournalRecords = len(recs)
@@ -293,9 +323,9 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 	flightByKey := make(map[string]*flight)
 	for _, r := range order {
 		if r.sub == nil {
-			// A terminal record whose submit half was torn away by a
-			// crash: nothing to restore or re-run. Non-terminal is
-			// impossible (entries start at a submit or a finish).
+			// A terminal or interrupt record whose submit half was torn
+			// away by a crash (or whose submit JSON was unreadable):
+			// nothing to restore or re-run.
 			s.logf("serve: recovery: job %s has no submit record; dropped", r.id)
 			continue
 		}
@@ -370,6 +400,9 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			fl.jobs = append(fl.jobs, job)
 			s.rememberLocked(job)
 			s.recovery.Requeued++
+			if r.interrupted {
+				s.recovery.Interrupted++
+			}
 			s.metrics.Recovered.Inc()
 		}
 	}

@@ -179,6 +179,97 @@ func TestCrashRecoveryByteIdenticalToUninterruptedRun(t *testing.T) {
 	}
 }
 
+// TestDrainTimeoutCasualtiesRequeueOnRestart: jobs hard-canceled
+// because the drain window expired are journaled as interrupted, not
+// canceled — the next boot re-enqueues them like crash victims and
+// runs them to completion under their original IDs. A job the caller
+// canceled explicitly stays canceled across the restart.
+func TestDrainTimeoutCasualtiesRequeueOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	runningSeqs := testSeqs(9, 45, 77)
+	queuedSeqs := testSeqs(7, 40, 78)
+	droppedSeqs := testSeqs(5, 35, 79)
+
+	fe1 := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 4)}
+	s1 := newTestServer(t, Config{Executor: fe1, DataDir: dir, MaxConcurrent: 1})
+	running, err := s1.Submit(runningSeqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fe1.started // the first job occupies the only dispatcher, blocked
+	queued, err := s1.Submit(queuedSeqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := s1.Submit(droppedSeqs, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller changes their mind about one queued job: that is a
+	// real cancel and must survive the restart as canceled.
+	if live, err := s1.Cancel(dropped.ID, nil); err != nil || !live {
+		t.Fatalf("cancel queued job: live=%v err=%v", live, err)
+	}
+	if s1.Drain(30 * time.Millisecond) {
+		t.Fatal("Drain reported success with a blocked job")
+	}
+	s1.Close() // drain window expired: hard-cancel the leftovers
+
+	for _, j := range []*Job{running, queued} {
+		v := j.View()
+		if v.State != StateCanceled {
+			t.Fatalf("job %s after close: %s, want canceled", j.ID, v.State)
+		}
+		if want := ErrInterrupted.Error(); v.Error != want {
+			t.Fatalf("job %s cause = %q, want %q", j.ID, v.Error, want)
+		}
+	}
+	if got := s1.metrics.Interrupted.Value(); got != 2 {
+		t.Fatalf("interrupted metric = %d, want 2", got)
+	}
+
+	fe2 := &fakeExec{}
+	s2 := newTestServer(t, Config{Executor: fe2, DataDir: dir})
+	defer s2.Close()
+	rec := s2.Recovery()
+	// The previous process DID shut down cleanly (shutdown record
+	// written) — and still left requeueable casualties.
+	if !rec.CleanShutdown {
+		t.Fatalf("recovery = %+v, want clean shutdown", rec)
+	}
+	if rec.Requeued != 2 || rec.Interrupted != 2 {
+		t.Fatalf("recovery = %+v, want 2 requeued / 2 interrupted", rec)
+	}
+	for _, old := range []struct {
+		job  *Job
+		want string
+	}{{running, fasta.FormatString(runningSeqs)}, {queued, fasta.FormatString(queuedSeqs)}} {
+		j, ok := s2.Job(old.job.ID)
+		if !ok {
+			t.Fatalf("interrupted job %s not restored", old.job.ID)
+		}
+		if !j.View().Recovered {
+			t.Fatalf("job %s not marked recovered", j.ID)
+		}
+		v := waitState(t, j, StateDone)
+		payload, ok := s2.resultPayload(j, v.Result)
+		if !ok || string(payload) != old.want {
+			t.Fatalf("job %s: wrong or missing payload after requeue", j.ID)
+		}
+	}
+	if fe2.Runs() != 2 {
+		t.Fatalf("recovered jobs ran %d times, want 2", fe2.Runs())
+	}
+	// The explicitly canceled job stays canceled — not resurrected.
+	j, ok := s2.Job(dropped.ID)
+	if !ok {
+		t.Fatalf("canceled job %s lost across restart", dropped.ID)
+	}
+	if v := j.View(); v.State != StateCanceled {
+		t.Fatalf("canceled job %s restored as %s", j.ID, v.State)
+	}
+}
+
 func TestJournalCorruptTailRecoversPrefix(t *testing.T) {
 	dir := t.TempDir()
 	seqs := testSeqs(6, 30, 73)

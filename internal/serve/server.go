@@ -46,6 +46,14 @@ var (
 	ErrOverloaded = errors.New("serve: queue full, try again later") // → 429
 	ErrClosed     = errors.New("serve: server is shutting down")     // → 503
 	ErrNotFound   = errors.New("serve: no such job")                 // → 404
+
+	// ErrInterrupted is the cancellation cause Close applies to jobs
+	// still queued or running when the server stops (a drain window
+	// that expired, or no drain at all). Jobs killed with this cause
+	// are journaled as interrupted, not canceled, so the next boot
+	// re-enqueues them like crash victims instead of reporting them
+	// terminally canceled.
+	ErrInterrupted = errors.New("serve: interrupted by shutdown")
 )
 
 // BadRequestError marks client errors (malformed input or options) so
@@ -298,7 +306,7 @@ type Server struct {
 	recovery  RecoveryInfo
 
 	baseCtx    context.Context
-	baseCancel context.CancelFunc
+	baseCancel context.CancelCauseFunc
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
@@ -320,7 +328,7 @@ type Server struct {
 // failures.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancelCause(context.Background())
 	// CacheEntries < 0 disables caching entirely, whatever the byte
 	// bound says (a negative byte bound alone only means "no byte cap").
 	cacheEntries, cacheBytes := cfg.CacheEntries, cfg.CacheBytes
@@ -340,7 +348,7 @@ func New(cfg Config) (*Server, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.DataDir != "" {
 		if err := s.openPersistence(); err != nil {
-			cancel()
+			cancel(nil)
 			return nil, err
 		}
 	}
@@ -389,7 +397,10 @@ func (s *Server) Close() {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.baseCancel()
+	// Shutdown is the cancellation cause: every job this kills is
+	// journaled as interrupted (see journalFinish), so the next boot
+	// re-enqueues it like a crash victim.
+	s.baseCancel(ErrInterrupted)
 	s.wg.Wait()
 	if s.journal != nil {
 		s.journalAppend(store.Record{Type: store.RecShutdown, Time: time.Now()})
@@ -552,10 +563,13 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		jobs := fl.jobs
 		fl.jobs = nil
 		s.mu.Unlock()
+		// The job was accepted and journaled, then the shutdown raced
+		// in: that is an interruption, not a caller cancel — the next
+		// boot re-enqueues it like every other shutdown casualty.
 		for _, w := range jobs {
-			s.finalizeJob(w, StateCanceled, nil, ErrClosed, time.Now())
+			s.finalizeJob(w, StateCanceled, nil, ErrInterrupted, time.Now())
 		}
-		fl.cancel(ErrClosed)
+		fl.cancel(ErrInterrupted)
 	default:
 		s.fifo = append(s.fifo, fl)
 		s.cond.Signal()
@@ -706,7 +720,7 @@ func (s *Server) cancelJob(j *Job, cause error) bool {
 	}
 	close(j.done)
 	s.metrics.Canceled.Inc()
-	s.journalFinish(j.ID, j.Key, StateCanceled, cause.Error(), nil, now)
+	s.journalFinish(j.ID, j.Key, StateCanceled, cause, nil, now)
 	return true
 }
 
@@ -843,16 +857,15 @@ func (s *Server) finalizeJob(j *Job, outcome State, res *Result, cause error, fi
 	j.fl = nil
 	s.mu.Unlock()
 	close(j.done)
-	errMsg := ""
-	if cause != nil {
-		errMsg = cause.Error()
-	}
-	s.journalFinish(j.ID, j.Key, outcome, errMsg, summary, finished)
+	s.journalFinish(j.ID, j.Key, outcome, cause, summary, finished)
 	switch outcome {
 	case StateDone:
 		s.metrics.Completed.Inc()
 	case StateCanceled:
 		s.metrics.Canceled.Inc()
+		if errors.Is(cause, ErrInterrupted) {
+			s.metrics.Interrupted.Inc()
+		}
 	default:
 		s.metrics.Failed.Inc()
 	}

@@ -38,6 +38,11 @@ const (
 	RecFinish   = "finish"
 	RecCancel   = "cancel"
 	RecShutdown = "shutdown"
+	// RecInterrupt marks a job hard-canceled by the shutdown path
+	// itself (drain window expired with the job still queued/running).
+	// Unlike RecCancel it is not terminal at replay: the next boot
+	// re-enqueues the job exactly like a crash victim.
+	RecInterrupt = "interrupt"
 )
 
 // Record is one journal entry: a typed envelope with a service-defined

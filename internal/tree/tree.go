@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/kmer"
+	"repro/internal/par"
 )
 
 // Node is a rooted binary phylogenetic tree node. Leaves carry the index
@@ -112,10 +113,27 @@ func escapeName(s string) string {
 	return s
 }
 
+// parMinClusters is the active-set size below which the tree builders
+// stop fanning work out to par: a goroutine dispatch costs more than a
+// short cache-refresh scan, and the sequential path is bit-identical
+// anyway, so the cutover is invisible in the output.
+const parMinClusters = 96
+
 // UPGMA builds a rooted ultrametric guide tree by repeatedly joining the
 // closest cluster pair; cluster distances are size-weighted averages.
 // names may be nil. Runs in O(n²) using nearest-neighbour caching.
 func UPGMA(d *kmer.Matrix, names []string) *Node {
+	return UPGMAWorkers(d, names, 1)
+}
+
+// UPGMAWorkers is UPGMA with the O(n) nearest-neighbour cache scans —
+// the dominant cost of the O(n²) algorithm — spread over workers
+// shared-memory workers. Every scan resolves distance ties by the
+// lower cluster index and the global pick resolves score ties by the
+// lower cluster index too, so the merge order, and therefore the tree,
+// is identical for every workers value (workers <= 0 selects all
+// cores, 1 is the sequential path).
+func UPGMAWorkers(d *kmer.Matrix, names []string, workers int) *Node {
 	n := d.N
 	if n == 0 {
 		return nil
@@ -144,6 +162,11 @@ func UPGMA(d *kmer.Matrix, names []string) *Node {
 		size[i] = 1
 		active[i] = true
 	}
+	// recomputeNearest writes only cluster i's cache slots and reads the
+	// shared dist/active state, which is never mutated while refreshes
+	// are in flight — so distinct clusters refresh concurrently without
+	// locks. The strict < keeps the lowest index on distance ties, one
+	// half of the deterministic (score, lower-index) tie-break.
 	recomputeNearest := func(i int) {
 		nearest[i] = -1
 		best := 0.0
@@ -157,13 +180,21 @@ func UPGMA(d *kmer.Matrix, names []string) *Node {
 		}
 		nearestD[i] = best
 	}
-	for i := 0; i < n; i++ {
-		recomputeNearest(i)
+	parallel := workers != 1 && n >= parMinClusters
+	if parallel {
+		par.For(n, workers, recomputeNearest)
+	} else {
+		for i := 0; i < n; i++ {
+			recomputeNearest(i)
+		}
 	}
 
+	stale := make([]int, 0, n) // clusters whose cached nearest died this merge
 	remaining := n
 	for remaining > 1 {
-		// pick the globally closest pair via the nearest caches
+		// pick the globally closest pair via the nearest caches; strict <
+		// keeps the lowest index on ties (the other half of the
+		// deterministic tie-break).
 		bi := -1
 		for i := 0; i < n; i++ {
 			if !active[i] || nearest[i] == -1 {
@@ -199,16 +230,34 @@ func UPGMA(d *kmer.Matrix, names []string) *Node {
 		if remaining == 1 {
 			return parent
 		}
-		// refresh caches invalidated by the merge
-		recomputeNearest(bi)
+		// Refresh the caches invalidated by the merge: clusters that had
+		// bi or bj as their nearest need a full O(n) rescan; everyone
+		// else at most adopts the merged cluster with an O(1) check. The
+		// rescans are independent (each writes its own slots), so they
+		// run concurrently; the merged cluster bi rescans alongside.
+		stale = stale[:0]
 		for k := 0; k < n; k++ {
 			if !active[k] || k == bi {
 				continue
 			}
 			if nearest[k] == bi || nearest[k] == bj {
-				recomputeNearest(k)
+				stale = append(stale, k)
 			} else if dist[k][bi] < nearestD[k] {
 				nearest[k], nearestD[k] = bi, dist[k][bi]
+			}
+		}
+		if parallel && remaining >= parMinClusters && len(stale) >= 2 {
+			par.For(len(stale)+1, workers, func(t int) {
+				if t == 0 {
+					recomputeNearest(bi)
+				} else {
+					recomputeNearest(stale[t-1])
+				}
+			})
+		} else {
+			recomputeNearest(bi)
+			for _, k := range stale {
+				recomputeNearest(k)
 			}
 		}
 	}
@@ -219,6 +268,17 @@ func UPGMA(d *kmer.Matrix, names []string) *Node {
 // roots it at the final join. O(n³); intended for the CLUSTALW-like
 // pipeline on modest set sizes.
 func NeighborJoining(d *kmer.Matrix, names []string) *Node {
+	return NeighborJoiningWorkers(d, names, 1)
+}
+
+// NeighborJoiningWorkers is NeighborJoining with each iteration's O(m²)
+// row-sum and Q-minimisation scans spread over workers shared-memory
+// workers. Each row's scan is sequential (so its float accumulation
+// order never changes) and ties are resolved to the lexicographically
+// first (a, b) pair, exactly as the sequential double loop does — the
+// join order, and therefore the tree, is identical for every workers
+// value (workers <= 0 selects all cores, 1 is the sequential path).
+func NeighborJoiningWorkers(d *kmer.Matrix, names []string, workers int) *Node {
 	n := d.N
 	if n == 0 {
 		return nil
@@ -246,24 +306,59 @@ func NeighborJoining(d *kmer.Matrix, names []string) *Node {
 	for i := range activeIdx {
 		activeIdx[i] = i
 	}
+	// per-iteration scratch, hoisted so the O(n) iterations reuse it
+	r := make([]float64, n)    // row sums over the active set
+	rowQ := make([]float64, n) // per-row minimal Q
+	rowArg := make([]int, n)   // argmin b of rowQ (first on ties)
+	const rowBlock = 16        // rows per dispatched block
 
 	for len(activeIdx) > 2 {
 		m := len(activeIdx)
-		// row sums over active set
-		r := make([]float64, m)
-		for a := 0; a < m; a++ {
-			for b := 0; b < m; b++ {
-				r[a] += dist[activeIdx[a]][activeIdx[b]]
+		parallel := workers != 1 && m >= parMinClusters
+		// Row sums over the active set. Each row accumulates in the same
+		// b order as the sequential loop; rows are independent.
+		rowSums := func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				var sum float64
+				da := dist[activeIdx[a]]
+				for b := 0; b < m; b++ {
+					sum += da[activeIdx[b]]
+				}
+				r[a] = sum
 			}
 		}
-		// minimise Q(a,b) = (m-2)d(a,b) - r_a - r_b
+		// Minimise Q(a,b) = (m-2)d(a,b) - r_a - r_b: each row finds its
+		// first-minimal b, then a sequential scan over rows picks the
+		// first-minimal a — the same lexicographic tie-break as one
+		// nested loop.
+		rowScan := func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				rowArg[a] = -1
+				var best float64
+				da := dist[activeIdx[a]]
+				for b := a + 1; b < m; b++ {
+					q := float64(m-2)*da[activeIdx[b]] - r[a] - r[b]
+					if rowArg[a] == -1 || q < best {
+						rowArg[a], best = b, q
+					}
+				}
+				rowQ[a] = best
+			}
+		}
+		if parallel {
+			par.ForBlocks(m, rowBlock, workers, rowSums)
+			par.ForBlocks(m, rowBlock, workers, rowScan)
+		} else {
+			rowSums(0, m)
+			rowScan(0, m)
+		}
 		bestA, bestB, bestQ := -1, -1, 0.0
 		for a := 0; a < m; a++ {
-			for b := a + 1; b < m; b++ {
-				q := float64(m-2)*dist[activeIdx[a]][activeIdx[b]] - r[a] - r[b]
-				if bestA == -1 || q < bestQ {
-					bestA, bestB, bestQ = a, b, q
-				}
+			if rowArg[a] == -1 {
+				continue // last row has no b > a
+			}
+			if bestA == -1 || rowQ[a] < bestQ {
+				bestA, bestB, bestQ = a, rowArg[a], rowQ[a]
 			}
 		}
 		ia, ib := activeIdx[bestA], activeIdx[bestB]

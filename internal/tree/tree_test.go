@@ -105,6 +105,39 @@ func TestUPGMACoversAllLeaves(t *testing.T) {
 	}
 }
 
+// TestGuideTreeWorkersDeterminism pins the tentpole invariant: UPGMA
+// and NJ build bit-identical trees (compared as Newick, which encodes
+// topology, order and branch lengths) for every worker count. The
+// matrices are big enough to cross the parallel cutover and heavily
+// quantized so distance ties are common — the (score, lower-index)
+// tie-break, not luck, must make the merge order stable.
+func TestGuideTreeWorkersDeterminism(t *testing.T) {
+	for _, n := range []int{40, 97, 150} {
+		rng := rand.New(rand.NewSource(int64(19 + n)))
+		m := kmer.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				// multiples of 0.05: plenty of exact ties
+				m.Set(i, j, 0.05*float64(1+rng.Intn(20)))
+			}
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "s" + string(rune('A'+i%26)) + "_" + string(rune('0'+i%10))
+		}
+		upgmaRef := UPGMAWorkers(m, names, 1).Newick()
+		njRef := NeighborJoiningWorkers(m, names, 1).Newick()
+		for _, w := range []int{0, 2, 4, 8} {
+			if got := UPGMAWorkers(m, names, w).Newick(); got != upgmaRef {
+				t.Fatalf("n=%d: UPGMA workers=%d differs from workers=1", n, w)
+			}
+			if got := NeighborJoiningWorkers(m, names, w).Newick(); got != njRef {
+				t.Fatalf("n=%d: NJ workers=%d differs from workers=1", n, w)
+			}
+		}
+	}
+}
+
 func TestNeighborJoiningAdditiveTree(t *testing.T) {
 	// Distances from a known additive tree: ((a:2,b:3):1,(c:4,d:5):1)
 	// pairwise: ab=5, ac=8, ad=9, bc=9, bd=10, cd=9. NJ must recover the

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Perf trajectory for the PR series: runs the real msabench experiments
+# (machine-readable -json) plus the guide-tree construction
+# micro-benchmarks (BenchmarkDistanceMatrixTiled, the tiled O(N²)
+# distance matrix at N=2000, and BenchmarkGuideTreeWorkers, UPGMA/NJ at
+# worker counts 1..8) and merges everything into one BENCH_<PR>.json.
+# CI uploads the file as an artifact; diff the files across PRs to see
+# the trajectory.
+#
+#   bash scripts/bench.sh [out.json]       # default out: BENCH_5.json
+#
+# Environment knobs:
+#   BENCHTIME     go test -benchtime for the micro-benchmarks (default 3x)
+#   MSABENCH_EXP  msabench experiment set for the real runs (default fig4)
+#
+# The "speedup" section divides each family's workers=1 ns/op by every
+# other worker count's — on a host with >= 4 cores the distance-matrix
+# and guide-tree families should show >= 2x at workers=4; on fewer
+# cores the ratio saturates at the core count (a 1-core container
+# reports ~1.0x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_5.json}
+BENCHTIME=${BENCHTIME:-3x}
+MSABENCH_EXP=${MSABENCH_EXP:-fig4}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== real distributed runs (msabench -exp $MSABENCH_EXP -quick) =="
+go run ./cmd/msabench -exp "$MSABENCH_EXP" -quick -json "$tmp/msabench.json"
+
+echo "== guide-tree construction benchmarks (benchtime $BENCHTIME) =="
+go test -run '^$' -bench 'BenchmarkDistanceMatrixTiled|BenchmarkGuideTreeWorkers' \
+  -benchtime "$BENCHTIME" -count 1 . | tee "$tmp/gobench.txt"
+
+CORES=$(nproc) GOVER=$(go version) \
+python3 - "$tmp/msabench.json" "$tmp/gobench.txt" "$OUT" <<'PY'
+import json, os, re, sys
+
+msabench_path, gobench_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+with open(msabench_path) as f:
+    msabench = json.load(f)
+
+# "BenchmarkFoo/sub-8   12   3456 ns/op   78 B/op   9 allocs/op"
+# (the -8 GOMAXPROCS suffix is omitted when GOMAXPROCS is 1)
+line_re = re.compile(
+    r"^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?")
+gobench = []
+with open(gobench_path) as f:
+    for line in f:
+        m = line_re.match(line)
+        if not m:
+            continue
+        name, iters, ns, bpo, allocs = m.groups()
+        gobench.append({
+            "name": name,
+            "iterations": int(iters),
+            "ns_per_op": float(ns),
+            "b_per_op": float(bpo) if bpo else None,
+            "allocs_per_op": int(allocs) if allocs else None,
+        })
+
+# Speedup of each workers=N variant against its family's workers=1.
+families = {}
+for b in gobench:
+    m = re.match(r"(.*)/workers=(\d+)$", b["name"])
+    if m:
+        families.setdefault(m.group(1), {})[int(m.group(2))] = b["ns_per_op"]
+speedup = {}
+for fam, by_workers in sorted(families.items()):
+    base = by_workers.get(1)
+    if not base:
+        continue
+    speedup[fam] = {
+        f"workers={w}": round(base / ns, 3)
+        for w, ns in sorted(by_workers.items()) if w != 1 and ns > 0
+    }
+
+out = {
+    "pr": 5,
+    "generated_by": "scripts/bench.sh",
+    "host": {"cores": int(os.environ.get("CORES", "0")),
+             "go": os.environ.get("GOVER", "")},
+    "msabench": msabench,
+    "gobench": gobench,
+    "speedup": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(msabench)} real runs, "
+      f"{len(gobench)} micro-benchmarks, {len(speedup)} speedup families")
+PY

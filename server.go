@@ -123,6 +123,7 @@ type RecoveryInfo struct {
 	JournalRecords int  // intact journal records replayed
 	Finished       int  // terminal jobs restored to the job table
 	Requeued       int  // unfinished jobs re-enqueued for execution
+	Interrupted    int  // of Requeued: hard-canceled when the previous shutdown's drain window expired
 	CleanShutdown  bool // the previous process closed cleanly
 }
 
@@ -135,6 +136,7 @@ func (s *Server) Recovery() RecoveryInfo {
 		JournalRecords: r.JournalRecords,
 		Finished:       r.Finished,
 		Requeued:       r.Requeued,
+		Interrupted:    r.Interrupted,
 		CleanShutdown:  r.CleanShutdown,
 	}
 }
