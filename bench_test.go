@@ -19,6 +19,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dpkern"
 	"repro/internal/kmer"
 	"repro/internal/mafft"
 	"repro/internal/mpi"
@@ -573,12 +574,60 @@ func BenchmarkKmerDistance(b *testing.B) {
 
 func BenchmarkPairwiseGlobal(b *testing.B) {
 	loadFixtures(b)
-	al := pairwise.NewProtein()
 	x := fixtures.fam500[0].Data
 	y := fixtures.fam500[1].Data
-	b.SetBytes(int64(len(x) + len(y)))
-	for i := 0; i < b.N; i++ {
-		al.Global(x, y)
+	for _, k := range []dpkern.Kernel{dpkern.Scalar, dpkern.Striped} {
+		b.Run("kernel="+k.String(), func(b *testing.B) {
+			al := pairwise.NewProtein()
+			al.Kernel = k
+			b.SetBytes(int64(len(x) + len(y)))
+			for i := 0; i < b.N; i++ {
+				al.Global(x, y)
+			}
+		})
+	}
+}
+
+// ---- striped DP kernels (internal/dpkern) ----
+
+// BenchmarkProfilePSP measures the profile-profile PSP hot path on the
+// unit-leaf pairs a guide tree's first merges are made of — exactly the
+// shape the striped int16 kernel accelerates — comparing the scalar
+// float64 reference against the striped kernel. Path and score are
+// asserted identical in both sub-benches (the kernel's byte-identity
+// contract); the BENCH_*.json kernel_speedup family tracks the ratio
+// (>= 2x single-thread expected).
+func BenchmarkProfilePSP(b *testing.B) {
+	seqs, err := GenerateDiverseSet(2, 500, 110)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := submat.BLOSUM62
+	alpha := sub.Alphabet()
+	pa := profile.FromSequence(alpha, bio.Ungap(seqs[0].Data))
+	pb := profile.FromSequence(alpha, bio.Ungap(seqs[1].Data))
+	ref := profile.NewAligner(sub, submat.DefaultProteinGap)
+	ref.Kernel = dpkern.Scalar
+	refPath, refScore := ref.Align(pa, pb)
+	for _, k := range []dpkern.Kernel{dpkern.Scalar, dpkern.Striped} {
+		b.Run("kernel="+k.String(), func(b *testing.B) {
+			al := profile.NewAligner(sub, submat.DefaultProteinGap)
+			al.Kernel = k
+			var path profile.Path
+			var score float64
+			for i := 0; i < b.N; i++ {
+				path, score = al.Align(pa, pb)
+			}
+			if score != refScore || len(path) != len(refPath) {
+				b.Fatalf("kernel %v diverged: score %v vs %v, path %d vs %d ops",
+					k, score, refScore, len(path), len(refPath))
+			}
+			for i := range path {
+				if path[i] != refPath[i] {
+					b.Fatalf("kernel %v: path op %d differs", k, i)
+				}
+			}
+		})
 	}
 }
 

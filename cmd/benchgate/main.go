@@ -1,0 +1,155 @@
+// Command benchgate is the bench regression gate for the perf
+// trajectory: it diffs two consecutive BENCH_<PR>.json files (the
+// scripts/bench.sh output) and exits non-zero when a named
+// micro-benchmark's ns/op regressed by more than -max-regress percent,
+// or when the new file's profile-PSP kernel speedup (striped vs
+// scalar, single-thread) fell below -min-psp-speedup.
+//
+// Usage:
+//
+//	benchgate [flags] NEW.json          # kernel-speedup floor only
+//	benchgate [flags] OLD.json NEW.json # + ns/op regression diff
+//
+// ns/op is only comparable between runs on the same hardware, so the
+// regression diff is skipped (with a warning) when the two files
+// record different host core counts — e.g. the first CI run after a
+// locally generated baseline. Oversubscribed variants (a /workers=N
+// suffix with N above the host core count) are also skipped: their
+// timing is scheduler contention, not kernel speed, and swings far
+// past any useful threshold between runs. The kernel-speedup floor is
+// a ratio of two single-thread runs from the same file, so it always
+// applies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type benchFile struct {
+	PR   int `json:"pr"`
+	Host struct {
+		Cores int    `json:"cores"`
+		Go    string `json:"go"`
+	} `json:"host"`
+	Gobench []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"gobench"`
+	KernelSpeedup map[string]float64 `json:"kernel_speedup"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10,
+		"fail when a benchmark's ns/op grew by more than this percent (0 disables)")
+	minPSP := flag.Float64("min-psp-speedup", 2.0,
+		"fail when the new file's ProfilePSP kernel_speedup is below this (0 disables)")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] [OLD.json] NEW.json")
+		os.Exit(2)
+	}
+
+	newest, err := load(flag.Arg(flag.NArg() - 1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+
+	if *minPSP > 0 {
+		got, ok := newest.KernelSpeedup["ProfilePSP"]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL kernel_speedup: ProfilePSP missing from PR %d file (families: %v)\n",
+				newest.PR, keys(newest.KernelSpeedup))
+			failed = true
+		case got < *minPSP:
+			fmt.Printf("FAIL kernel_speedup: ProfilePSP %.2fx < %.2fx floor\n", got, *minPSP)
+			failed = true
+		default:
+			fmt.Printf("ok   kernel_speedup: ProfilePSP %.2fx >= %.2fx floor\n", got, *minPSP)
+		}
+	}
+
+	if flag.NArg() == 2 && *maxRegress > 0 {
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if old.Host.Cores != newest.Host.Cores {
+			fmt.Printf("warn ns/op diff skipped: PR %d ran on %d cores, PR %d on %d — not comparable\n",
+				old.PR, old.Host.Cores, newest.PR, newest.Host.Cores)
+		} else {
+			oldNs := make(map[string]float64, len(old.Gobench))
+			for _, b := range old.Gobench {
+				oldNs[b.Name] = b.NsPerOp
+			}
+			compared, oversub := 0, 0
+			for _, b := range newest.Gobench {
+				base, ok := oldNs[b.Name]
+				if !ok || base <= 0 {
+					continue
+				}
+				if w := workersOf(b.Name); w > newest.Host.Cores {
+					oversub++
+					continue
+				}
+				compared++
+				pct := (b.NsPerOp - base) / base * 100
+				if pct > *maxRegress {
+					fmt.Printf("FAIL %s: %.0f -> %.0f ns/op (+%.1f%% > %.0f%%)\n",
+						b.Name, base, b.NsPerOp, pct, *maxRegress)
+					failed = true
+				}
+			}
+			fmt.Printf("ok   ns/op diff: %d shared benchmarks (%d oversubscribed skipped), PR %d vs PR %d, threshold +%.0f%%\n",
+				compared, oversub, old.PR, newest.PR, *maxRegress)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+var workersRe = regexp.MustCompile(`/workers=(\d+)\b`)
+
+// workersOf extracts the worker count from a /workers=N sub-benchmark
+// name (0 when absent, i.e. single-thread benchmarks).
+func workersOf(name string) int {
+	m := workersRe.FindStringSubmatch(name)
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -24,6 +24,8 @@ import (
 	"repro/internal/bio"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dpkern"
+	"repro/internal/engines"
 	"repro/internal/kmer"
 	"repro/internal/msa"
 	"repro/internal/prefab"
@@ -37,11 +39,17 @@ func main() {
 	seed := flag.Int64("seed", 2008, "master RNG seed")
 	workers := flag.Int("workers", 0,
 		"shared-memory workers for real runs, covering guide-tree construction (tiled distance matrix, UPGMA/NJ) and merging; 0 keeps the historical defaults (1 per distributed rank, all cores for sequential baselines)")
+	kernel := flag.String("kernel", "auto", "DP kernel for every run: auto|scalar|striped (byte-identical output)")
 	jsonOut := flag.String("json", "",
 		"write machine-readable results of every real (non-simulated) run to this file")
 	flag.Parse()
 
-	r := &runner{quick: *quick, seed: *seed, workers: *workers}
+	kern, err := dpkern.Parse(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msabench:", err)
+		os.Exit(2)
+	}
+	r := &runner{quick: *quick, seed: *seed, workers: *workers, kernel: kern}
 	experiments := map[string]func() error{
 		"fig1":   r.fig1,
 		"table1": r.table1,
@@ -113,7 +121,8 @@ func writeResults(path string, results []BenchResult) error {
 type runner struct {
 	quick   bool
 	seed    int64
-	workers int // intra-rank workers for the real runs
+	workers int           // intra-rank workers for the real runs
+	kernel  dpkern.Kernel // DP kernel for every run (byte-identical output)
 
 	diverse []bio.Sequence // cached Fig. 1/3/Table 1 input
 	results []BenchResult  // real runs, written by -json
@@ -159,7 +168,7 @@ func (r *runner) measure(name string, seqs []bio.Sequence, p int) (*core.Result,
 // parallelism. Flag value 0 keeps core's historical default of one
 // worker per rank (the paper's single-CPU cluster nodes).
 func (r *runner) realConfig() core.Config {
-	return core.Config{Workers: r.workers}
+	return core.Config{Workers: r.workers, Kernel: r.kernel}
 }
 
 func (r *runner) header(title string) {
@@ -432,7 +441,7 @@ func (r *runner) resolve(name string) (msa.Aligner, error) {
 		}
 		return &core.InprocAligner{P: procs, Cfg: r.realConfig()}, nil
 	}
-	return samplealign.NewAligner(name, r.workers)
+	return engines.NewWithKernel(name, r.workers, r.kernel)
 }
 
 func (r *runner) comm() error {

@@ -101,6 +101,9 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	// in each processor using any sequential multiple alignment system")
 	tPhase := time.Now()
 	localAligner := cfg.NewLocalAligner(cfg.Workers)
+	if kc, ok := localAligner.(msa.KernelConfigurable); ok {
+		kc.SetKernel(cfg.Kernel)
+	}
 	bucketSeqs := make([]bio.Sequence, len(bucket))
 	for i, ws := range bucket {
 		bucketSeqs[i] = bio.Sequence{ID: ws.ID, Desc: ws.Desc, Data: ws.Data}

@@ -58,14 +58,28 @@ type Workspace struct {
 	// MP, XP, YP are the match / gap-in-B / gap-in-A score planes,
 	// indexed with At. Valid up to rows*cols after Reserve.
 	MP, XP, YP []float64
+	// MI, XI, YI are the scaled-integer score planes used by the
+	// striped int16 kernels in internal/dpkern, indexed with At.
+	// Valid up to rows*cols after ReserveInt.
+	MI, XI, YI []int16
 	// TB is the merged traceback plane, one packed byte per cell
 	// (see PackTB). Not zeroed between borrows.
 	TB []byte
 
 	rows, cols int
 
-	aux    []float64
-	auxOff int
+	aux      []float64
+	auxOff   int
+	aux16    []int16
+	aux16Off int
+	auxB     []byte
+	auxBOff  int
+	auxI     []int32
+	auxIOff  int
+}
+
+func (w *Workspace) resetAux() {
+	w.auxOff, w.aux16Off, w.auxBOff, w.auxIOff = 0, 0, 0, 0
 }
 
 // Reserve sizes all four planes for a rows×cols affine-gap DP and
@@ -80,8 +94,28 @@ func (w *Workspace) Reserve(rows, cols int) {
 		w.TB = make([]byte, n)
 	}
 	w.TB = w.TB[:n]
+	w.MI, w.XI, w.YI = w.MI[:0], w.XI[:0], w.YI[:0]
 	w.rows, w.cols = rows, cols
-	w.auxOff = 0
+	w.resetAux()
+}
+
+// ReserveInt sizes the three int16 planes plus the traceback plane for a
+// rows×cols scaled-integer affine-gap DP (see internal/dpkern), leaving
+// the float64 planes at zero length. At/Rows/Cols index the int16 planes
+// exactly as they do the float64 ones after Reserve, so traceback code is
+// shared between kernel families.
+func (w *Workspace) ReserveInt(rows, cols int) {
+	n := rows * cols
+	w.MI = growI16(w.MI, n)
+	w.XI = growI16(w.XI, n)
+	w.YI = growI16(w.YI, n)
+	if cap(w.TB) < n {
+		w.TB = make([]byte, n)
+	}
+	w.TB = w.TB[:n]
+	w.MP, w.XP, w.YP = w.MP[:0], w.XP[:0], w.YP[:0]
+	w.rows, w.cols = rows, cols
+	w.resetAux()
 }
 
 // ReserveScore sizes only the MP plane (rows×cols) for single-plane
@@ -93,13 +127,21 @@ func (w *Workspace) ReserveScore(rows, cols int) {
 	w.XP = w.XP[:0]
 	w.YP = w.YP[:0]
 	w.TB = w.TB[:0]
+	w.MI, w.XI, w.YI = w.MI[:0], w.XI[:0], w.YI[:0]
 	w.rows, w.cols = rows, cols
-	w.auxOff = 0
+	w.resetAux()
 }
 
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI16(s []int16, n int) []int16 {
+	if cap(s) < n {
+		return make([]int16, n)
 	}
 	return s[:n]
 }
@@ -130,6 +172,54 @@ func (w *Workspace) Floats(n int) []float64 {
 	return s
 }
 
+// Int16s hands out a zeroed length-n int16 slice from the workspace's
+// scratch arena, with the same lifetime rules as Floats. Used by the
+// dpkern query-profile tables.
+func (w *Workspace) Int16s(n int) []int16 {
+	if w.aux16Off+n > len(w.aux16) {
+		w.aux16 = make([]int16, 2*len(w.aux16)+n)
+		w.aux16Off = 0
+	}
+	s := w.aux16[w.aux16Off : w.aux16Off+n : w.aux16Off+n]
+	w.aux16Off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Bytes hands out a zeroed length-n byte slice from the workspace's
+// scratch arena, with the same lifetime rules as Floats. Used for
+// residue-row maps in the dpkern kernels.
+func (w *Workspace) Bytes(n int) []byte {
+	if w.auxBOff+n > len(w.auxB) {
+		w.auxB = make([]byte, 2*len(w.auxB)+n)
+		w.auxBOff = 0
+	}
+	s := w.auxB[w.auxBOff : w.auxBOff+n : w.auxBOff+n]
+	w.auxBOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Ints hands out a zeroed length-n int32 slice from the workspace's
+// scratch arena, with the same lifetime rules as Floats. Used for the
+// sparse nonzero-residue index lists of the profile PSP scorer.
+func (w *Workspace) Ints(n int) []int32 {
+	if w.auxIOff+n > len(w.auxI) {
+		w.auxI = make([]int32, 2*len(w.auxI)+n)
+		w.auxIOff = 0
+	}
+	s := w.auxI[w.auxIOff : w.auxIOff+n : w.auxIOff+n]
+	w.auxIOff += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 var pool = sync.Pool{New: func() any { return new(Workspace) }}
 
 // Get borrows a workspace from the pool sized for a rows×cols DP.
@@ -147,6 +237,21 @@ func GetScore(rows, cols int) *Workspace {
 	w := pool.Get().(*Workspace)
 	w.ReserveScore(rows, cols)
 	return w
+}
+
+// GetInt borrows a workspace with the int16 planes plus traceback sized
+// (see ReserveInt). Return it with Put.
+func GetInt(rows, cols int) *Workspace {
+	w := pool.Get().(*Workspace)
+	w.ReserveInt(rows, cols)
+	return w
+}
+
+// GetRaw borrows a workspace without reserving any planes; the caller
+// must call one of the Reserve variants before using it. Lets routing
+// code pick the plane family (float64 vs int16) after borrowing.
+func GetRaw() *Workspace {
+	return pool.Get().(*Workspace)
 }
 
 // Put returns a workspace to the pool. The caller must not touch the

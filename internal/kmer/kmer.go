@@ -255,13 +255,46 @@ func DistanceMatrixTiled(ctx context.Context, profiles []Profile, workers int, t
 	if n < 2 {
 		return m, ctx.Err()
 	}
+	tiles := PairTiles(n, workers, tile)
+	err := par.ForDynamicCtx(ctx, len(tiles), workers, func(t int) {
+		tl := tiles[t]
+		for i := tl.RLo; i < tl.RHi; i++ {
+			pi := profiles[i]
+			jlo := tl.CLo
+			if jlo <= i {
+				jlo = i + 1 // diagonal tile: stay above the diagonal
+			}
+			for j := jlo; j < tl.CHi; j++ {
+				m.Set(i, j, Distance(pi, profiles[j]))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Tile is one block of the strict upper-triangular pair space: rows
+// [RLo, RHi) against columns [CLo, CHi). Tiles on the diagonal include
+// sub-diagonal cells in their ranges; iterate with jlo = max(CLo, i+1)
+// to visit each unordered pair exactly once.
+type Tile struct {
+	RLo, RHi, CLo, CHi int
+}
+
+// PairTiles enumerates cache-sized tiles covering all unordered pairs
+// of n items, in the fixed (row-block, column-block) order the tiled
+// distance matrix dispatches them. tile <= 0 selects DefaultTileSize,
+// shrunk until the dynamic scheduler has around four tiles per worker —
+// at n <= DefaultTileSize a single tile would serialize the whole
+// triangle, losing to a per-row fan-out. The floor keeps per-tile work
+// above dispatch cost; explicit tile sizes are honoured as given.
+// Shared by the k-mer distance matrix and the %-identity (CLUSTALW)
+// distance pass in internal/msa, so both walk the identical schedule.
+func PairTiles(n, workers, tile int) []Tile {
 	if tile <= 0 {
 		tile = DefaultTileSize
-		// Shrink the default until the dynamic scheduler has around
-		// four tiles per worker — at N <= DefaultTileSize a single tile
-		// would serialize the whole triangle, losing to the per-row
-		// fan-out this replaced. The floor keeps per-tile work above
-		// dispatch cost; explicit tile sizes are honoured as given.
 		w := workers
 		if w <= 0 {
 			w = par.DefaultWorkers()
@@ -277,39 +310,24 @@ func DistanceMatrixTiled(ctx context.Context, profiles []Profile, workers int, t
 	if tile > n {
 		tile = n
 	}
+	if tile < 1 {
+		tile = 1
+	}
 	nb := (n + tile - 1) / tile
-	type block struct{ rb, cb int }
-	tiles := make([]block, 0, nb*(nb+1)/2)
+	tiles := make([]Tile, 0, nb*(nb+1)/2)
 	for rb := 0; rb < nb; rb++ {
 		for cb := rb; cb < nb; cb++ {
-			tiles = append(tiles, block{rb, cb})
+			t := Tile{RLo: rb * tile, RHi: rb*tile + tile, CLo: cb * tile, CHi: cb*tile + tile}
+			if t.RHi > n {
+				t.RHi = n
+			}
+			if t.CHi > n {
+				t.CHi = n
+			}
+			tiles = append(tiles, t)
 		}
 	}
-	err := par.ForDynamicCtx(ctx, len(tiles), workers, func(t int) {
-		rb, cb := tiles[t].rb, tiles[t].cb
-		rhi := rb*tile + tile
-		if rhi > n {
-			rhi = n
-		}
-		chi := cb*tile + tile
-		if chi > n {
-			chi = n
-		}
-		for i := rb * tile; i < rhi; i++ {
-			pi := profiles[i]
-			jlo := cb * tile
-			if jlo <= i {
-				jlo = i + 1 // diagonal tile: stay above the diagonal
-			}
-			for j := jlo; j < chi; j++ {
-				m.Set(i, j, Distance(pi, profiles[j]))
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return m, nil
+	return tiles
 }
 
 // DefaultRankScale calibrates ranks to the paper's reported numeric range.

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/bio"
+	"repro/internal/dpkern"
 	"repro/internal/fft"
 	"repro/internal/kmer"
 	"repro/internal/msa"
@@ -31,6 +32,7 @@ type Options struct {
 	BandPad   int  // extra half-width around detected offsets (default 32)
 	PeakCount int  // number of correlation peaks considered (default 8)
 	Workers   int
+	Kernel    dpkern.Kernel // DP kernel selection; byte-identical output either way
 	Sub       *submat.Matrix
 	Gap       submat.Gap
 	K         int
@@ -82,6 +84,9 @@ func New(opts Options, name string) *Aligner {
 // Name identifies the variant.
 func (a *Aligner) Name() string { return a.name }
 
+// SetKernel selects the DP kernel for subsequent alignments.
+func (a *Aligner) SetKernel(k dpkern.Kernel) { a.opts.Kernel = k }
+
 // Align runs the pipeline.
 func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
 	return a.AlignContext(context.Background(), seqs)
@@ -121,6 +126,7 @@ func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.A
 		// reuse the msa engine's tree-bipartition refinement
 		prog := msa.NewProgressive(msa.Options{
 			Sub: a.opts.Sub, Gap: a.opts.Gap, Workers: a.opts.Workers,
+			Kernel: a.opts.Kernel,
 		})
 		aln, err = prog.RefineAlignmentContext(ctx, aln, gt, a.opts.Refine)
 		if err != nil {
@@ -141,6 +147,7 @@ type group struct {
 func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tree.Node) (*msa.Alignment, error) {
 	alpha := a.opts.Sub.Alphabet()
 	palign := profile.NewAligner(a.opts.Sub, a.opts.Gap)
+	palign.Kernel = a.opts.Kernel
 
 	leaf := func(n *tree.Node) (*group, error) {
 		if n.ID < 0 || n.ID >= len(seqs) {

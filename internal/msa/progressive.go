@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/bio"
+	"repro/internal/dp"
+	"repro/internal/dpkern"
 	"repro/internal/kmer"
 	"repro/internal/pairwise"
 	"repro/internal/par"
@@ -73,8 +75,21 @@ type Options struct {
 	Weighting bool            // CLUSTALW-style tree-derived sequence weights
 	Refine    int             // rounds of tree-bipartition refinement
 	Workers   int             // shared-memory workers (<=0: all cores)
+	Kernel    dpkern.Kernel   // DP kernel selection; byte-identical output either way
 	NameTag   string
 }
+
+// KernelConfigurable is implemented by aligners whose DP kernel can be
+// switched after construction. Kernel selection never changes output —
+// the striped kernels are byte-identical to the scalar reference — so
+// it is configuration, not identity, and deliberately lives outside the
+// constructors.
+type KernelConfigurable interface {
+	SetKernel(dpkern.Kernel)
+}
+
+// SetKernel selects the DP kernel for subsequent alignments.
+func (p *Progressive) SetKernel(k dpkern.Kernel) { p.opts.Kernel = k }
 
 // Progressive is a progressive multiple aligner: distance matrix → guide
 // tree → post-order profile merging (→ optional refinement).
@@ -160,13 +175,30 @@ func (p *Progressive) DistanceMatrixContext(ctx context.Context, seqs []bio.Sequ
 		profiles := counter.Profiles(seqs, p.opts.Workers)
 		return kmer.DistanceMatrixContext(ctx, profiles, p.opts.Workers)
 	case PIDDistance:
+		// The O(N²·L²) pair space is dispatched as the same cache-sized
+		// tiles the k-mer matrix uses (kmer.PairTiles), so the dynamic
+		// scheduler balances the quadratic tail instead of handing each
+		// worker whole rows of shrinking length. Each tile borrows one
+		// pooled DP workspace for all of its alignments, and the identity
+		// is counted directly off the traceback plane
+		// (GlobalIdentityInto) without materializing aligned rows.
 		n := len(seqs)
 		m := kmer.NewMatrix(n)
-		al := pairwise.Aligner{Sub: p.opts.Sub, Gap: p.opts.Gap}
-		if err := par.ForDynamicCtx(ctx, n, p.opts.Workers, func(i int) {
-			for j := i + 1; j < n; j++ {
-				r := al.Global(seqs[i].Data, seqs[j].Data)
-				m.Set(i, j, 1-pairwise.Identity(r.A, r.B))
+		al := pairwise.Aligner{Sub: p.opts.Sub, Gap: p.opts.Gap, Kernel: p.opts.Kernel}
+		tiles := kmer.PairTiles(n, p.opts.Workers, 0)
+		if err := par.ForDynamicCtx(ctx, len(tiles), p.opts.Workers, func(t int) {
+			tl := tiles[t]
+			w := dp.GetRaw()
+			defer dp.Put(w)
+			for i := tl.RLo; i < tl.RHi; i++ {
+				a := seqs[i].Data
+				jlo := tl.CLo
+				if jlo <= i {
+					jlo = i + 1 // diagonal tile: stay above the diagonal
+				}
+				for j := jlo; j < tl.CHi; j++ {
+					m.Set(i, j, 1-al.GlobalIdentityInto(w, a, seqs[j].Data))
+				}
 			}
 		}); err != nil {
 			return nil, err
@@ -253,6 +285,7 @@ func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights 
 func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
 	alpha := p.opts.Sub.Alphabet()
 	palign := profile.NewAligner(p.opts.Sub, p.opts.Gap)
+	palign.Kernel = p.opts.Kernel
 
 	weightOf := func(idx int) float64 {
 		if weights == nil {

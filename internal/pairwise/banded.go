@@ -4,6 +4,27 @@ import (
 	"repro/internal/dp"
 )
 
+// bandBounds converts a half-width band request into the clamped
+// diagonal range j−i ∈ [lo, hi]. The clamp keeps the band feasible: it
+// always contains the origin and the corner cell. Shared by the scalar
+// and striped banded kernels so both DP over the identical cell set.
+func bandBounds(n, m, band int) (lo, hi int) {
+	if band < 1 {
+		band = 1
+	}
+	lo, hi = -band, m-n+band
+	if m-n < 0 {
+		lo, hi = m-n-band, band
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < m-n {
+		hi = m - n
+	}
+	return lo, hi
+}
+
 // GlobalBanded aligns a and b globally while restricting the DP to a
 // diagonal band of half-width band around the main diagonal (adjusted for
 // the length difference). With a band wide enough to hold the optimal
@@ -14,23 +35,28 @@ import (
 // The band is clamped to be feasible: it always contains the corner cell.
 func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 	n, m := len(a), len(b)
-	if band < 1 {
-		band = 1
-	}
-	// Diagonal offset range: j-i must stay within [lo, hi].
-	lo, hi := -band, m-n+band
-	if m-n < 0 {
-		lo, hi = m-n-band, band
-	}
-	if lo > 0 {
-		lo = 0
-	}
-	if hi < m-n {
-		hi = m - n
-	}
-
-	w := dp.Get(n+1, m+1)
+	lo, hi := bandBounds(n, m, band)
+	w := dp.GetRaw()
 	defer dp.Put(w)
+
+	var state byte
+	var score float64
+	if t := al.kernelTable(); t.FitsBanded(n, m) {
+		w.ReserveInt(n+1, m+1)
+		state, score = t.Banded(w, t.MapRows(w, a), t.MapRows(w, b), lo, hi)
+	} else {
+		w.Reserve(n+1, m+1)
+		state, score = al.globalBandedScalar(w, a, b, lo, hi)
+	}
+	ra, rb := traceAffine(w, a, b, state)
+	return Result{A: ra, B: rb, Score: score}
+}
+
+// globalBandedScalar is the reference float64 banded kernel, filling the
+// reserved workspace for diagonals [lo, hi] and returning the optimal
+// end state and score.
+func (al Aligner) globalBandedScalar(w *dp.Workspace, a, b []byte, lo, hi int) (byte, float64) {
+	n, m := len(a), len(b)
 	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
 	cols := m + 1
 	open, ext := al.Gap.Open, al.Gap.Extend
@@ -110,6 +136,5 @@ func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 	if Y[end] > score {
 		state, score = stY, Y[end]
 	}
-	ra, rb := traceAffine(w, a, b, state)
-	return Result{A: ra, B: rb, Score: score}
+	return state, score
 }

@@ -1,0 +1,181 @@
+package pairwise
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/dp"
+	"repro/internal/dpkern"
+	"repro/internal/submat"
+)
+
+// Cross-kernel property tests: whatever the Kernel setting, Global,
+// GlobalBanded and GlobalIdentityInto must produce byte-identical rows
+// and bit-identical scores — the striped int16 kernel is an exactness
+// contract, not an approximation, and the escape hatch must keep that
+// true even when the int16 bounds do not hold.
+
+func randSeqOf(rng *rand.Rand, n int, letters []byte) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = letters[rng.Intn(len(letters))]
+	}
+	return s
+}
+
+func kernelPair(al Aligner) (scalar, striped Aligner) {
+	scalar, striped = al, al
+	scalar.Kernel = dpkern.Scalar
+	striped.Kernel = dpkern.Striped
+	return scalar, striped
+}
+
+func assertSameResult(t *testing.T, tag string, want, got Result) {
+	t.Helper()
+	if want.Score != got.Score {
+		t.Fatalf("%s: score %v (scalar) != %v (striped)", tag, want.Score, got.Score)
+	}
+	if string(want.A) != string(got.A) || string(want.B) != string(got.B) {
+		t.Fatalf("%s: rows differ\nscalar  %q\n        %q\nstriped %q\n        %q",
+			tag, want.A, want.B, got.A, got.B)
+	}
+}
+
+func TestStripedGlobalMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	scalar, striped := kernelPair(NewProtein())
+	letters := bio.AminoAcids.Letters()
+	for trial := 0; trial < 60; trial++ {
+		n, m := rng.Intn(120), rng.Intn(120)
+		a, b := randSeqOf(rng, n, letters), randSeqOf(rng, m, letters)
+		assertSameResult(t, "random", scalar.Global(a, b), striped.Global(a, b))
+	}
+}
+
+func TestStripedGlobalMatchesScalarTieHeavy(t *testing.T) {
+	// Two-letter sequences produce many equal-scoring paths; the striped
+	// kernel must break every tie exactly like the scalar loop, so the
+	// traceback (not just the score) has to match.
+	rng := rand.New(rand.NewSource(62))
+	scalar, striped := kernelPair(NewProtein())
+	for trial := 0; trial < 60; trial++ {
+		a := randSeqOf(rng, 30+rng.Intn(60), []byte("AG"))
+		b := randSeqOf(rng, 30+rng.Intn(60), []byte("AG"))
+		assertSameResult(t, "tie-heavy", scalar.Global(a, b), striped.Global(a, b))
+	}
+	// DNA matrices hit the 4-letter table path.
+	dna := Aligner{Sub: submat.DNASimple, Gap: submat.DefaultDNAGap}
+	dScalar, dStriped := kernelPair(dna)
+	for trial := 0; trial < 30; trial++ {
+		a := randSeqOf(rng, 40+rng.Intn(40), []byte("ACGT"))
+		b := randSeqOf(rng, 40+rng.Intn(40), []byte("ACGT"))
+		assertSameResult(t, "dna", dScalar.Global(a, b), dStriped.Global(a, b))
+	}
+}
+
+func TestStripedBandedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	scalar, striped := kernelPair(NewProtein())
+	letters := bio.AminoAcids.Letters()
+	for trial := 0; trial < 40; trial++ {
+		a := randSeqOf(rng, 20+rng.Intn(80), letters)
+		b := randSeqOf(rng, 20+rng.Intn(80), letters)
+		for _, band := range []int{1, 3, 10, 200} {
+			assertSameResult(t, "banded",
+				scalar.GlobalBanded(a, b, band), striped.GlobalBanded(a, b, band))
+		}
+	}
+}
+
+func TestStripedIdentityMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	scalar, striped := kernelPair(NewProtein())
+	letters := bio.AminoAcids.Letters()
+	w := dp.GetRaw()
+	defer dp.Put(w)
+	for trial := 0; trial < 40; trial++ {
+		a := randSeqOf(rng, 1+rng.Intn(100), letters)
+		b := randSeqOf(rng, 1+rng.Intn(100), letters)
+		is := scalar.GlobalIdentityInto(w, a, b)
+		it := striped.GlobalIdentityInto(w, a, b)
+		if is != it {
+			t.Fatalf("identity: %v (scalar) != %v (striped)", is, it)
+		}
+		// And both must equal the definitional value from the rows.
+		res := scalar.Global(a, b)
+		if want := Identity(res.A, res.B); is != want {
+			t.Fatalf("identity %v != Identity(rows) %v", is, want)
+		}
+	}
+}
+
+// bigMatrix is exactly int16-representable but its scores are large
+// enough that moderate lengths overflow the a-priori value bounds — the
+// adversarial range that must trigger the saturation escape.
+func bigMatrix() *submat.Matrix {
+	L := bio.AminoAcids.Len()
+	table := make([][]float64, L)
+	for i := range table {
+		table[i] = make([]float64, L)
+		for j := range table[i] {
+			if i == j {
+				table[i][j] = 900
+			} else {
+				table[i][j] = -900
+			}
+		}
+	}
+	return submat.New("big", bio.AminoAcids, table, -900)
+}
+
+func TestSaturationEscapeTriggersAndStaysExact(t *testing.T) {
+	al := Aligner{Sub: bigMatrix(), Gap: submat.DefaultProteinGap}
+	tbl := dpkern.For(al.Sub, al.Gap)
+	if tbl == nil {
+		t.Fatal("big matrix is integral; table must exist")
+	}
+	if !tbl.Fits(10, 10) {
+		t.Fatal("10x10 with the big matrix should still fit")
+	}
+	if tbl.Fits(40, 40) {
+		t.Fatal("40x40 with the big matrix must overflow the positive bound")
+	}
+	rng := rand.New(rand.NewSource(65))
+	scalar, striped := kernelPair(al)
+	letters := bio.AminoAcids.Letters()
+	for trial := 0; trial < 20; trial++ {
+		// Straddle the fit boundary so both the striped path (small) and
+		// the escape path (large) are exercised against the scalar.
+		n, m := 5+rng.Intn(60), 5+rng.Intn(60)
+		a, b := randSeqOf(rng, n, letters), randSeqOf(rng, m, letters)
+		assertSameResult(t, "saturation", scalar.Global(a, b), striped.Global(a, b))
+	}
+}
+
+func TestNonIntegralMatrixEscapes(t *testing.T) {
+	L := bio.AminoAcids.Len()
+	table := make([][]float64, L)
+	for i := range table {
+		table[i] = make([]float64, L)
+		for j := range table[i] {
+			if i == j {
+				table[i][j] = 1.3
+			} else {
+				table[i][j] = -0.7
+			}
+		}
+	}
+	al := Aligner{Sub: submat.New("frac", bio.AminoAcids, table, -0.7), Gap: submat.DefaultProteinGap}
+	if dpkern.For(al.Sub, al.Gap) != nil {
+		t.Fatal("fractional matrix must have no int16 table")
+	}
+	rng := rand.New(rand.NewSource(66))
+	scalar, striped := kernelPair(al)
+	letters := bio.AminoAcids.Letters()
+	for trial := 0; trial < 10; trial++ {
+		a := randSeqOf(rng, 10+rng.Intn(50), letters)
+		b := randSeqOf(rng, 10+rng.Intn(50), letters)
+		assertSameResult(t, "fractional", scalar.Global(a, b), striped.Global(a, b))
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/dp"
+	"repro/internal/dpkern"
 	"repro/internal/submat"
 )
 
@@ -25,6 +26,11 @@ import (
 type Aligner struct {
 	Sub *submat.Matrix
 	Gap submat.Gap
+	// Kernel selects the DP kernel family for Global/GlobalBanded: the
+	// zero value (dpkern.Auto) uses the striped int16 kernels wherever
+	// their exactness contract holds and the scalar float64 path
+	// elsewhere. Results are byte-identical for every setting.
+	Kernel dpkern.Kernel
 }
 
 // NewProtein returns an aligner with BLOSUM62 and the default protein
@@ -52,12 +58,40 @@ const (
 // Global aligns a and b end to end with affine gap penalties and returns
 // the optimal-score alignment.
 func (al Aligner) Global(a, b []byte) Result {
+	w := dp.GetRaw()
+	defer dp.Put(w)
+	state, score := al.globalInto(w, a, b)
+	ra, rb := traceAffine(w, a, b, state)
+	return Result{A: ra, B: rb, Score: score}
+}
+
+// kernelTable resolves the striped quantization table for this aligner,
+// or nil when the scalar kernels were requested or the matrix has no
+// exact int16 image.
+func (al Aligner) kernelTable() *dpkern.Table {
+	if al.Kernel == dpkern.Scalar {
+		return nil
+	}
+	return dpkern.For(al.Sub, al.Gap)
+}
+
+// globalInto fills the workspace's DP and traceback planes for the
+// global alignment of a and b — via the striped int16 kernel when its
+// exactness bounds hold, the scalar float64 kernel otherwise — and
+// returns the optimal end state and score. The traceback plane is
+// identical whichever kernel ran.
+func (al Aligner) globalInto(w *dp.Workspace, a, b []byte) (byte, float64) {
 	n, m := len(a), len(b)
+	if t := al.kernelTable(); t.Fits(n, m) {
+		w.ReserveInt(n+1, m+1)
+		ra := t.MapRows(w, a)
+		rb := t.MapRows(w, b)
+		return t.Global(w, ra, rb)
+	}
 	open, ext := al.Gap.Open, al.Gap.Extend
 
 	// DP planes. M: last pair aligned; X: gap in b; Y: gap in a.
-	w := dp.Get(n+1, m+1)
-	defer dp.Put(w)
+	w.Reserve(n+1, m+1)
 	M, X, Y, tb := w.MP, w.XP, w.YP, w.TB
 	cols := m + 1
 
@@ -116,7 +150,7 @@ func (al Aligner) Global(a, b []byte) Result {
 		}
 	}
 
-	// choose the best final state and trace back
+	// choose the best final state
 	end := n*cols + m
 	state, score := stM, M[end]
 	if X[end] > score {
@@ -125,8 +159,41 @@ func (al Aligner) Global(a, b []byte) Result {
 	if Y[end] > score {
 		state, score = stY, Y[end]
 	}
-	ra, rb := traceAffine(w, a, b, state)
-	return Result{A: ra, B: rb, Score: score}
+	return state, score
+}
+
+// GlobalIdentityInto computes the fractional identity of the optimal
+// global alignment of a and b (exactly Identity applied to Global's
+// rows) without materialising the gapped rows: it walks the traceback
+// plane in the supplied workspace, so batch callers — the CLUSTALW
+// %-identity distance matrix — allocate nothing per pair.
+func (al Aligner) GlobalIdentityInto(w *dp.Workspace, a, b []byte) float64 {
+	state, _ := al.globalInto(w, a, b)
+	i, j := len(a), len(b)
+	same, pairs := 0, 0
+	for i > 0 || j > 0 {
+		cell := w.TB[w.At(i, j)]
+		switch state {
+		case stM:
+			pairs++
+			if a[i-1] == b[j-1] {
+				same++
+			}
+			i--
+			j--
+			state = dp.TBM(cell)
+		case stX:
+			i--
+			state = dp.TBX(cell)
+		default:
+			j--
+			state = dp.TBY(cell)
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(same) / float64(pairs)
 }
 
 // traceAffine follows the packed traceback plane from (len(a), len(b))

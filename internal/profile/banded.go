@@ -34,6 +34,9 @@ func (al *Aligner) AlignBanded(a, b *Profile, diagLo, diagHi int) (Path, float64
 		diagHi = m - n
 	}
 
+	if path, score, ok := al.alignStriped(a, b, true, diagLo, diagHi); ok {
+		return path, score
+	}
 	w := dp.Get(n+1, m+1)
 	defer dp.Put(w)
 	sc := al.pspSetup(w, a, b)

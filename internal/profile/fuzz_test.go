@@ -1,0 +1,57 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/dpkern"
+	"repro/internal/submat"
+)
+
+// FuzzKernelEquivalence drives random byte strings through the scalar
+// and striped kernels and requires identical paths and bit-identical
+// scores. The raw fuzz bytes are folded onto the amino-acid alphabet,
+// so every input is a valid unit-leaf pair and the striped kernel's
+// fast path (not just its escape) is exercised; the length cap keeps a
+// single case inside the fuzz engine's per-exec budget.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte("HEAGAWGHEE"), []byte("PAWHEAE"))
+	f.Add([]byte("AAAAAAAA"), []byte("AAAA"))
+	f.Add([]byte("AGAGAGAGAGAGAG"), []byte("GAGAGAGA")) // tie-heavy
+	f.Add([]byte{}, []byte("ACDE"))
+	f.Add([]byte{0xff, 0x00, 0x41}, []byte{0x80, 0x7f})
+
+	scalar := NewAligner(submat.BLOSUM62, submat.DefaultProteinGap)
+	scalar.Kernel = dpkern.Scalar
+	striped := NewAligner(submat.BLOSUM62, submat.DefaultProteinGap)
+	striped.Kernel = dpkern.Striped
+
+	letters := bio.AminoAcids.Letters()
+	fold := func(raw []byte) *Profile {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		s := make([]byte, len(raw))
+		for i, c := range raw {
+			s[i] = letters[int(c)%len(letters)]
+		}
+		return FromSequence(bio.AminoAcids, s)
+	}
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, b := fold(rawA), fold(rawB)
+		sp, ss := scalar.Align(a, b)
+		tp, ts := striped.Align(a, b)
+		if ss != ts {
+			t.Fatalf("score %v (scalar) != %v (striped)", ss, ts)
+		}
+		if !pathsEqual(sp, tp) {
+			t.Fatalf("paths differ:\nscalar  %v\nstriped %v", sp, tp)
+		}
+		// Seeding with the known-good path must change nothing either.
+		qp, qs := striped.AlignSeeded(a, b, sp)
+		if qs != ss || !pathsEqual(qp, sp) {
+			t.Fatalf("AlignSeeded diverged: score %v vs %v", qs, ss)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/dpkern"
+	"repro/internal/submat"
+)
+
+// Cross-kernel property tests for the profile aligner: whatever the
+// Kernel setting, Align and AlignSeeded must produce identical paths
+// and bit-identical scores. The scalar configuration is the untouched
+// reference everything is compared against.
+
+func kernelAligners() (scalar, striped *Aligner) {
+	scalar = NewAligner(submat.BLOSUM62, submat.DefaultProteinGap)
+	scalar.Kernel = dpkern.Scalar
+	striped = NewAligner(submat.BLOSUM62, submat.DefaultProteinGap)
+	striped.Kernel = dpkern.Striped
+	return scalar, striped
+}
+
+func randLeaf(rng *rand.Rand, n int, letters []byte) *Profile {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = letters[rng.Intn(len(letters))]
+	}
+	return FromSequence(bio.AminoAcids, s)
+}
+
+func assertSameAlignment(t *testing.T, tag string, wantP Path, wantS float64, gotP Path, gotS float64) {
+	t.Helper()
+	if wantS != gotS {
+		t.Fatalf("%s: score %v (scalar) != %v (striped)", tag, wantS, gotS)
+	}
+	if !pathsEqual(wantP, gotP) {
+		t.Fatalf("%s: paths differ:\nscalar  %v\nstriped %v", tag, wantP, gotP)
+	}
+}
+
+func TestStripedLeafAlignMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	scalar, striped := kernelAligners()
+	letters := bio.AminoAcids.Letters()
+	for trial := 0; trial < 40; trial++ {
+		a := randLeaf(rng, 1+rng.Intn(120), letters)
+		b := randLeaf(rng, 1+rng.Intn(120), letters)
+		sp, ss := scalar.Align(a, b)
+		tp, ts := striped.Align(a, b)
+		assertSameAlignment(t, "leaf", sp, ss, tp, ts)
+	}
+	// Tie-heavy: two-letter sequences maximise equal-scoring paths.
+	for trial := 0; trial < 40; trial++ {
+		a := randLeaf(rng, 20+rng.Intn(80), []byte("AG"))
+		b := randLeaf(rng, 20+rng.Intn(80), []byte("AG"))
+		sp, ss := scalar.Align(a, b)
+		tp, ts := striped.Align(a, b)
+		assertSameAlignment(t, "tie-heavy leaf", sp, ss, tp, ts)
+	}
+}
+
+func TestStripedRoutesOnlyUnitLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	scalar, striped := kernelAligners()
+	// Multi-row profiles have fractional columns: the striped kernel
+	// must decline them (isUnitLeaf false) and the scalar path runs for
+	// both settings — this asserts the routing does not corrupt results.
+	for trial := 0; trial < 10; trial++ {
+		a := randProfile(rng, 3, 40+rng.Intn(40))
+		b := randProfile(rng, 2, 40+rng.Intn(40))
+		if _, _, ok := striped.alignStriped(a, b, false, 0, 0); ok {
+			t.Fatal("striped kernel accepted a multi-row profile")
+		}
+		sp, ss := scalar.Align(a, b)
+		tp, ts := striped.Align(a, b)
+		assertSameAlignment(t, "multi-row", sp, ss, tp, ts)
+	}
+	// A gapped single-sequence profile is not a unit leaf either.
+	g, err := FromRows(bio.AminoAcids, [][]byte{[]byte("AC-DE")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isUnitLeaf(g) {
+		t.Fatal("gapped column counted as unit leaf")
+	}
+}
+
+func TestAlignSeededMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	_, striped := kernelAligners()
+	auto := NewAligner(submat.BLOSUM62, submat.DefaultProteinGap)
+	for trial := 0; trial < 25; trial++ {
+		// Multi-row profiles force AlignSeeded past the striped fast path
+		// and into the corridor (or its full-DP fallback).
+		a := randProfile(rng, 2+rng.Intn(3), 30+rng.Intn(70))
+		b := randProfile(rng, 1+rng.Intn(3), 30+rng.Intn(70))
+		wantP, wantS := auto.Align(a, b)
+
+		// Exact prior: the corridor contains the optimal path.
+		gotP, gotS := auto.AlignSeeded(a, b, wantP)
+		assertSameAlignment(t, "exact prior", wantP, wantS, gotP, gotS)
+
+		// Degenerate prior (all-A then all-B): maximally far from the
+		// diagonal, so the corridor usually loses the optimum and the
+		// fallback must engage — result must not change.
+		degen := make(Path, 0, a.Len()+b.Len())
+		for i := 0; i < a.Len(); i++ {
+			degen = append(degen, OpA)
+		}
+		for j := 0; j < b.Len(); j++ {
+			degen = append(degen, OpB)
+		}
+		gotP, gotS = auto.AlignSeeded(a, b, degen)
+		assertSameAlignment(t, "degenerate prior", wantP, wantS, gotP, gotS)
+
+		// Invalid prior: wrong op counts must be rejected up front.
+		gotP, gotS = auto.AlignSeeded(a, b, Path{OpMatch})
+		assertSameAlignment(t, "invalid prior", wantP, wantS, gotP, gotS)
+
+		// Striped setting on unit leaves plus seeding must still agree.
+		la := randLeaf(rng, 20+rng.Intn(40), bio.AminoAcids.Letters())
+		lb := randLeaf(rng, 20+rng.Intn(40), bio.AminoAcids.Letters())
+		lwP, lwS := auto.Align(la, lb)
+		lgP, lgS := striped.AlignSeeded(la, lb, nil)
+		assertSameAlignment(t, "seeded leaf", lwP, lwS, lgP, lgS)
+	}
+}
+
+func TestAlignSeededScalarBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	scalar, _ := kernelAligners()
+	a := randProfile(rng, 2, 50)
+	b := randProfile(rng, 2, 50)
+	wantP, wantS := scalar.Align(a, b)
+	gotP, gotS := scalar.AlignSeeded(a, b, wantP)
+	assertSameAlignment(t, "scalar bypass", wantP, wantS, gotP, gotS)
+}

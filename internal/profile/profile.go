@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/dp"
+	"repro/internal/dpkern"
 	"repro/internal/submat"
 )
 
@@ -201,6 +202,13 @@ func MergeRows(rowsA, rowsB [][]byte, path Path) [][]byte {
 type Aligner struct {
 	Sub *submat.Matrix
 	Gap submat.Gap
+	// Kernel selects the DP kernel family (see dpkern): the zero value
+	// (dpkern.Auto) routes unit-leaf profile pairs — single sequences,
+	// the dominant merge shape at the bottom of every guide tree —
+	// through the striped int16 kernel, escaping to the scalar float64
+	// path whenever the exactness contract does not hold. Paths and
+	// scores are byte-identical for every setting.
+	Kernel dpkern.Kernel
 }
 
 // NewAligner returns a profile aligner over the matrix's alphabet.
@@ -216,42 +224,56 @@ const (
 )
 
 // pspScratch holds the flattened PSP scoring tables of one profile pair,
-// drawn from a workspace arena so repeated alignments allocate nothing:
-// fa is A's per-column residue frequencies (n×alphaLen, row-major), sb
-// is the expected score of each B column against every letter
-// (m×alphaLen), and occA/occB are the column occupancies.
+// drawn from a workspace arena so repeated alignments allocate nothing.
+// A's per-column residue frequencies are stored sparsely — only the
+// letters actually present in a column (faIdx/faVal, ascending letter
+// order, with faOff prefix offsets), since real profile columns hold a
+// handful of the 20 letters — while sb keeps the dense expected score of
+// each B column against every letter (m×alphaLen) for random access.
+// occA/occB are the column occupancies. Iterating the sparse lists adds
+// the identical terms in the identical order as the dense f != 0 scan
+// they replaced, so scores are bit-for-bit unchanged.
 type pspScratch struct {
-	fa, sb     []float64
+	faOff      []int32 // n+1 prefix offsets into faIdx/faVal
+	faIdx      []int32 // nonzero letter indices of A's columns
+	faVal      []float64
+	sb         []float64
 	occA, occB []float64
 	alphaLen   int
 }
 
 // pspSetup fills the scratch tables: sb[j·L+x] = Σ_y fb[j][y]·S(x,y),
-// making each DP cell O(alphaLen).
+// making each DP cell O(residues present), at most O(alphaLen).
 func (al *Aligner) pspSetup(w *dp.Workspace, a, b *Profile) pspScratch {
 	n, m := a.Len(), b.Len()
 	L := al.Sub.Alphabet().Len()
 	sc := pspScratch{
-		fa:       w.Floats(n * L),
+		faOff:    w.Ints(n + 1),
+		faIdx:    w.Ints(n * L),
+		faVal:    w.Floats(n * L),
 		sb:       w.Floats(m * L),
 		occA:     w.Floats(n),
 		occB:     w.Floats(m),
 		alphaLen: L,
 	}
+	var nz int32
 	for i := range a.Cols {
 		col := &a.Cols[i]
 		res := col.Residues()
 		sc.occA[i] = col.Occupancy()
+		sc.faOff[i] = nz
 		if res == 0 {
 			continue
 		}
-		row := sc.fa[i*L : (i+1)*L]
 		for y, c := range col.Counts {
 			if c != 0 {
-				row[y] = c / res
+				sc.faIdx[nz] = int32(y)
+				sc.faVal[nz] = c / res
+				nz++
 			}
 		}
 	}
+	sc.faOff[n] = nz
 	for j := range b.Cols {
 		col := &b.Cols[j]
 		res := col.Residues()
@@ -277,12 +299,9 @@ func (al *Aligner) pspSetup(w *dp.Workspace, a, b *Profile) pspScratch {
 // column j.
 func (sc *pspScratch) colScore(i, j int) float64 {
 	var s float64
-	fa := sc.fa[i*sc.alphaLen : (i+1)*sc.alphaLen]
 	sb := sc.sb[j*sc.alphaLen : (j+1)*sc.alphaLen]
-	for x, f := range fa {
-		if f != 0 {
-			s += f * sb[x]
-		}
+	for k := sc.faOff[i]; k < sc.faOff[i+1]; k++ {
+		s += sc.faVal[k] * sb[sc.faIdx[k]]
 	}
 	// Scale by occupancies so sparse columns influence less.
 	return s * sc.occA[i] * sc.occB[j]
@@ -323,6 +342,9 @@ func (al *Aligner) Align(a, b *Profile) (Path, float64) {
 	n, m := a.Len(), b.Len()
 	if n == 0 || m == 0 {
 		return al.alignTrivial(n, m)
+	}
+	if path, score, ok := al.alignStriped(a, b, false, 0, 0); ok {
+		return path, score
 	}
 	w := dp.Get(n+1, m+1)
 	defer dp.Put(w)

@@ -1,0 +1,259 @@
+package profile
+
+import (
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/dpkern"
+)
+
+// seedPad is how many columns the recorded corridor extends on each
+// side of the prior path. A re-alignment that drifts further than this
+// from its seed bails out to the full DP, so the pad only trades bail
+// frequency against corridor memory.
+const seedPad = 32
+
+// AlignSeeded is Align for callers that already know a plausible
+// alignment path — iterative refinement re-aligning the two halves of
+// an existing alignment, or a guide-tree merge whose child path is
+// known. The prior path seeds a corridor: the forward DP runs in
+// rolling rows (no O(n·m) score or traceback planes), recording values
+// only inside the corridor, and the traceback re-derives each decision
+// from the recorded values. If the optimal path ever leaves the
+// corridor the call falls back to the full DP, so the result — path and
+// score — is always byte-identical to Align's, whatever the prior.
+//
+// With Kernel == dpkern.Scalar the corridor is bypassed entirely and
+// Align runs, keeping the scalar configuration the untouched reference
+// path that the determinism suite compares everything against.
+func (al *Aligner) AlignSeeded(a, b *Profile, prior Path) (Path, float64) {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return al.alignTrivial(n, m)
+	}
+	if al.Kernel == dpkern.Scalar {
+		return al.Align(a, b)
+	}
+	if path, score, ok := al.alignStriped(a, b, false, 0, 0); ok {
+		return path, score
+	}
+	if prior.Validate(n, m) != nil {
+		return al.Align(a, b)
+	}
+	if path, score, ok := al.alignCorridor(a, b, prior); ok {
+		return path, score
+	}
+	return al.Align(a, b)
+}
+
+// alignCorridor runs the corridor-seeded exact DP described on
+// AlignSeeded. The forward pass replicates Align's float64 operations
+// expression for expression (same hoisting, same evaluation order), so
+// every recorded value is bit-identical to the corresponding full-plane
+// cell; the traceback recomputes each cell's predecessor choice with
+// Align's exact comparisons from those recorded values. ok=false means
+// the traceback needed a cell outside the corridor.
+func (al *Aligner) alignCorridor(a, b *Profile, prior Path) (Path, float64, bool) {
+	n, m := a.Len(), b.Len()
+	w := dp.GetScore(1, 1)
+	defer dp.Put(w)
+	sc := al.pspSetup(w, a, b)
+	open, ext := al.Gap.Open, al.Gap.Extend
+	negInf := math.Inf(-1)
+
+	// Per-row corridor bounds around the prior path.
+	lo := w.Ints(n + 1)
+	hi := w.Ints(n + 1)
+	for i := range lo {
+		lo[i] = int32(m + 1)
+		hi[i] = -1
+	}
+	visit := func(i, j int) {
+		if int32(j) < lo[i] {
+			lo[i] = int32(j)
+		}
+		if int32(j) > hi[i] {
+			hi[i] = int32(j)
+		}
+	}
+	pi, pj := 0, 0
+	visit(0, 0)
+	for _, op := range prior {
+		switch op {
+		case OpMatch:
+			pi++
+			pj++
+		case OpA:
+			pi++
+		default:
+			pj++
+		}
+		visit(pi, pj)
+	}
+	total := 0
+	off := w.Ints(n + 1)
+	for i := 0; i <= n; i++ {
+		l := int(lo[i]) - seedPad
+		if l < 0 {
+			l = 0
+		}
+		h := int(hi[i]) + seedPad
+		if h > m {
+			h = m
+		}
+		lo[i], hi[i] = int32(l), int32(h)
+		off[i] = int32(total)
+		total += h - l + 1
+	}
+	cM := w.Floats(total)
+	cX := w.Floats(total)
+	cY := w.Floats(total)
+
+	// Forward pass in rolling rows, replicating Align exactly.
+	rows := w.Floats(6 * (m + 1))
+	prevM, curM := rows[:m+1], rows[m+1:2*(m+1)]
+	prevX, curX := rows[2*(m+1):3*(m+1)], rows[3*(m+1):4*(m+1)]
+	prevY, curY := rows[4*(m+1):5*(m+1)], rows[5*(m+1):]
+
+	record := func(i int, rm, rx, ry []float64) {
+		l, h, o := int(lo[i]), int(hi[i]), int(off[i])
+		copy(cM[o:o+h-l+1], rm[l:h+1])
+		copy(cX[o:o+h-l+1], rx[l:h+1])
+		copy(cY[o:o+h-l+1], ry[l:h+1])
+	}
+
+	prevM[0] = 0
+	prevX[0], prevY[0] = negInf, negInf
+	for j := 1; j <= m; j++ {
+		prevM[j], prevX[j] = negInf, negInf
+		prevY[j] = X0(j, prevY[j-1], open, ext, sc.occB[j-1])
+	}
+	record(0, prevM, prevX, prevY)
+
+	for i := 1; i <= n; i++ {
+		curM[0], curY[0] = negInf, negInf
+		curX[0] = X0(i, prevX[0], open, ext, sc.occA[i-1])
+		wA := sc.occA[i-1]
+		openA, extA := (open+ext)*wA, ext*wA
+		for j := 1; j <= m; j++ {
+			s := sc.colScore(i-1, j-1)
+			bs := prevM[j-1]
+			if prevX[j-1] > bs {
+				bs = prevX[j-1]
+			}
+			if prevY[j-1] > bs {
+				bs = prevY[j-1]
+			}
+			curM[j] = bs + s
+
+			openX := prevM[j] - openA
+			if extX := prevX[j] - extA; openX >= extX {
+				curX[j] = openX
+			} else {
+				curX[j] = extX
+			}
+			wB := sc.occB[j-1]
+			openY := curM[j-1] - (open+ext)*wB
+			if extY := curY[j-1] - ext*wB; openY >= extY {
+				curY[j] = openY
+			} else {
+				curY[j] = extY
+			}
+		}
+		record(i, curM, curX, curY)
+		prevM, curM = curM, prevM
+		prevX, curX = curX, prevX
+		prevY, curY = curY, prevY
+	}
+
+	state, score := sM, prevM[m]
+	if prevX[m] > score {
+		state, score = sX, prevX[m]
+	}
+	if prevY[m] > score {
+		state, score = sY, prevY[m]
+	}
+
+	// Traceback: re-derive each visited cell's predecessor decision from
+	// the recorded corridor values, with the boundary cells' fixed
+	// traceback bytes handled analytically. Any lookup outside the
+	// corridor aborts to the full DP.
+	get := func(i, j int) (mv, xv, yv float64, ok bool) {
+		if int32(j) < lo[i] || int32(j) > hi[i] {
+			return 0, 0, 0, false
+		}
+		k := int(off[i]) + j - int(lo[i])
+		return cM[k], cX[k], cY[k], true
+	}
+	rev := make(Path, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		var ns byte
+		switch state {
+		case sM:
+			// Boundary rows/columns pack TBM = sM.
+			ns = sM
+			if i > 1 || j > 1 {
+				mv, xv, yv, ok := get(i-1, j-1)
+				if !ok {
+					return nil, 0, false
+				}
+				bs := mv
+				if xv > bs {
+					ns, bs = sX, xv
+				}
+				if yv > bs {
+					ns = sY
+				}
+			}
+			rev = append(rev, OpMatch)
+			i--
+			j--
+		case sX:
+			if j == 0 {
+				ns = sX // column-0 boundary byte packs TBX = sX
+			} else if i == 0 {
+				ns = sM // row-0 boundary byte packs TBX = sM
+			} else {
+				mv, xv, _, ok := get(i-1, j)
+				if !ok {
+					return nil, 0, false
+				}
+				wA := sc.occA[i-1]
+				openA, extA := (open+ext)*wA, ext*wA
+				if openX := mv - openA; openX >= xv-extA {
+					ns = sM
+				} else {
+					ns = sX
+				}
+			}
+			rev = append(rev, OpA)
+			i--
+		default: // sY
+			if i == 0 {
+				ns = sY // row-0 boundary byte packs TBY = sY
+			} else if j == 0 {
+				ns = sM // column-0 boundary byte packs TBY = sM
+			} else {
+				mv, _, yv, ok := get(i, j-1)
+				if !ok {
+					return nil, 0, false
+				}
+				wB := sc.occB[j-1]
+				openY := mv - (open+ext)*wB
+				if openY >= yv-ext*wB {
+					ns = sM
+				} else {
+					ns = sY
+				}
+			}
+			rev = append(rev, OpB)
+			j--
+		}
+		state = ns
+	}
+	for a, z := 0, len(rev)-1; a < z; a, z = a+1, z-1 {
+		rev[a], rev[z] = rev[z], rev[a]
+	}
+	return rev, score, true
+}

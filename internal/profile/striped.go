@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"repro/internal/dp"
+	"repro/internal/dpkern"
+)
+
+// isUnitLeaf reports whether p is an unaltered single-sequence profile
+// as far as PSP scoring is concerned: every column carries the
+// profile's full weight on exactly one letter and no gap mass. For such
+// columns the residue frequency is exactly 1.0 and the occupancy
+// exactly 1.0 (both divisions are w/w), so the PSP column score
+// degenerates to the raw substitution score and the occupancy-scaled
+// gap penalties to the plain gap model — the pairwise DP, which the
+// striped int16 kernel computes exactly. Columns with spread unknown
+// residues or any gap mass fail the test and keep the scalar path.
+func isUnitLeaf(p *Profile) bool {
+	if p.Weight <= 0 {
+		return false
+	}
+	for i := range p.Cols {
+		col := &p.Cols[i]
+		if col.Gaps != 0 {
+			return false
+		}
+		hit := false
+		for _, c := range col.Counts {
+			if c == 0 {
+				continue
+			}
+			if hit || c != p.Weight {
+				return false
+			}
+			hit = true
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// leafRows extracts the single letter index of each unit-leaf column
+// into the workspace byte arena; the indices double as dpkern table
+// rows. Only valid after isUnitLeaf returned true.
+func leafRows(w *dp.Workspace, p *Profile) []byte {
+	rows := w.Bytes(p.Len())
+	for i := range p.Cols {
+		for y, c := range p.Cols[i].Counts {
+			if c != 0 {
+				rows[i] = byte(y)
+				break
+			}
+		}
+	}
+	return rows
+}
+
+// alignStriped attempts the striped int16 kernel for a profile pair:
+// both profiles must be unit leaves, the matrix and gap model must
+// quantize exactly, and the DP value bounds must fit int16 (banded
+// kernels use the stricter banded bound). Returns ok=false — and has no
+// observable effect — whenever any precondition fails, in which case
+// the caller runs the scalar DP. On success the path and score are
+// byte-identical to what the scalar DP would have produced.
+func (al *Aligner) alignStriped(a, b *Profile, banded bool, lo, hi int) (Path, float64, bool) {
+	if al.Kernel == dpkern.Scalar {
+		return nil, 0, false
+	}
+	t := dpkern.For(al.Sub, al.Gap)
+	n, m := a.Len(), b.Len()
+	if banded {
+		if !t.FitsBanded(n, m) {
+			return nil, 0, false
+		}
+	} else if !t.Fits(n, m) {
+		return nil, 0, false
+	}
+	if !isUnitLeaf(a) || !isUnitLeaf(b) {
+		return nil, 0, false
+	}
+	w := dp.GetInt(n+1, m+1)
+	defer dp.Put(w)
+	ra, rb := leafRows(w, a), leafRows(w, b)
+	var state byte
+	var score float64
+	if banded {
+		state, score = t.Banded(w, ra, rb, lo, hi)
+	} else {
+		state, score = t.Global(w, ra, rb)
+	}
+	return tracePath(w, n, m, state), score, true
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"compress/gzip"
 	"container/list"
 	"encoding/binary"
 	"errors"
@@ -14,24 +16,40 @@ import (
 	"sync"
 )
 
-// Result file layout:
+// Result file layout (current version, "SAR2"):
 //
-//	magic   [4]byte  "SAR1"
+//	magic   [4]byte  "SAR2"
 //	metaLen uint32   little-endian
 //	metaCRC uint32   CRC32C of the meta bytes
-//	payLen  uint64   little-endian
-//	payCRC  uint32   CRC32C of the payload bytes
+//	payLen  uint64   little-endian, length of the COMPRESSED payload frame
+//	payCRC  uint32   CRC32C of the COMPRESSED payload frame
+//	rawLen  uint64   little-endian, decompressed payload length
 //	meta    []byte   service-defined (JSON summary of the result)
-//	payload []byte   the aligned FASTA
+//	payload []byte   gzip(the aligned FASTA)
+//
+// Payloads are gzipped at rest — aligned FASTA is highly redundant
+// (gap runs, near-identical rows), so this multiplies the effective
+// store capacity — and the CRC covers the compressed frame, so reads
+// verify the cheap small frame, not the inflated bytes. Accounting
+// (LRU byte bound, Bytes) follows the compressed size actually on
+// disk. Files written by the previous "SAR1" version (identical header
+// minus rawLen, payload stored raw) remain readable; new writes always
+// produce SAR2.
 //
 // Files are written to a temp name and renamed into place, so a
 // half-written result is never visible under its key; checksums catch
 // bit rot and torn writes that survived the rename anyway, and a file
 // that fails them is deleted and treated as a miss.
 
-var resultMagic = [4]byte{'S', 'A', 'R', '1'}
+var (
+	resultMagic   = [4]byte{'S', 'A', 'R', '2'}
+	resultMagicV1 = [4]byte{'S', 'A', 'R', '1'}
+)
 
-const resultHeaderLen = 4 + 4 + 4 + 8 + 4
+const (
+	resultHeaderLen   = 4 + 4 + 4 + 8 + 4 + 8
+	resultHeaderLenV1 = 4 + 4 + 4 + 8 + 4
+)
 
 // ErrCorrupt reports a result file whose checksum did not match; the
 // streaming reader returns it from Read at the point of detection.
@@ -120,14 +138,15 @@ func OpenResults(dir string, maxEntries int, maxBytes int64) (*Results, error) {
 }
 
 // statResult reads and sanity-checks a result file header, returning
-// the payload size. Full checksum verification is deferred to reads.
+// the on-disk payload size (the accounting unit). Full checksum
+// verification is deferred to reads.
 func statResult(path string) (int64, bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, false
 	}
 	defer f.Close()
-	metaLen, payLen, _, _, err := readHeader(f)
+	hdr, err := readHeader(f)
 	if err != nil {
 		return 0, false
 	}
@@ -135,41 +154,63 @@ func statResult(path string) (int64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	if fi.Size() != int64(resultHeaderLen)+int64(metaLen)+payLen {
+	if fi.Size() != int64(hdr.headerLen)+int64(hdr.metaLen)+hdr.payLen {
 		return 0, false // truncated or padded: treat as corrupt
 	}
-	return payLen, true
+	return hdr.payLen, true
 }
 
-func readHeader(r io.Reader) (metaLen uint32, payLen int64, metaCRC, payCRC uint32, err error) {
+// resultHeader is a decoded result file header, either version.
+type resultHeader struct {
+	metaLen    uint32
+	metaCRC    uint32
+	payLen     int64 // bytes on disk: compressed (SAR2) or raw (SAR1)
+	payCRC     uint32
+	rawLen     int64 // decompressed payload length (== payLen for SAR1)
+	compressed bool
+	headerLen  int
+}
+
+func readHeader(r io.Reader) (resultHeader, error) {
 	var hdr [resultHeaderLen]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, 0, 0, err
+	if _, err := io.ReadFull(r, hdr[:resultHeaderLenV1]); err != nil {
+		return resultHeader{}, err
 	}
-	if [4]byte(hdr[0:4]) != resultMagic {
-		return 0, 0, 0, 0, ErrCorrupt
+	h := resultHeader{
+		metaLen:   binary.LittleEndian.Uint32(hdr[4:8]),
+		metaCRC:   binary.LittleEndian.Uint32(hdr[8:12]),
+		payLen:    int64(binary.LittleEndian.Uint64(hdr[12:20])),
+		payCRC:    binary.LittleEndian.Uint32(hdr[20:24]),
+		headerLen: resultHeaderLenV1,
 	}
-	metaLen = binary.LittleEndian.Uint32(hdr[4:8])
-	metaCRC = binary.LittleEndian.Uint32(hdr[8:12])
-	upay := binary.LittleEndian.Uint64(hdr[12:20])
-	payCRC = binary.LittleEndian.Uint32(hdr[20:24])
-	if metaLen > maxRecordBytes || upay > 1<<40 {
-		return 0, 0, 0, 0, ErrCorrupt
+	switch [4]byte(hdr[0:4]) {
+	case resultMagic:
+		if _, err := io.ReadFull(r, hdr[resultHeaderLenV1:]); err != nil {
+			return resultHeader{}, err
+		}
+		h.rawLen = int64(binary.LittleEndian.Uint64(hdr[24:32]))
+		h.compressed = true
+		h.headerLen = resultHeaderLen
+	case resultMagicV1:
+		h.rawLen = h.payLen
+	default:
+		return resultHeader{}, ErrCorrupt
 	}
-	return metaLen, int64(upay), metaCRC, payCRC, nil
+	if h.metaLen > maxRecordBytes || h.payLen < 0 || h.payLen > 1<<40 ||
+		h.rawLen < 0 || h.rawLen > 1<<40 {
+		return resultHeader{}, ErrCorrupt
+	}
+	return h, nil
 }
 
 // Put stores (meta, payload) under key with an atomic temp-file +
-// rename write, then evicts LRU entries until both bounds hold. A
-// payload larger than the byte bound is not stored. Re-putting an
-// existing key only refreshes its recency (content-addressed: same
-// key, same bytes).
+// rename write, then evicts LRU entries until both bounds hold. The
+// payload is gzipped at rest; a payload whose compressed frame exceeds
+// the byte bound is not stored. Re-putting an existing key only
+// refreshes its recency (content-addressed: same key, same bytes).
 func (s *Results) Put(key string, meta, payload []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid result key %q", key)
-	}
-	if s.maxBytes > 0 && int64(len(payload)) > s.maxBytes {
-		return nil
 	}
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
@@ -178,6 +219,18 @@ func (s *Results) Put(key string, meta, payload []byte) error {
 		return nil
 	}
 	s.mu.Unlock()
+
+	var frame bytes.Buffer
+	zw := gzip.NewWriter(&frame)
+	if _, err := zw.Write(payload); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if s.maxBytes > 0 && int64(frame.Len()) > s.maxBytes {
+		return nil
+	}
 
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
@@ -188,9 +241,10 @@ func (s *Results) Put(key string, meta, payload []byte) error {
 	copy(hdr[0:4], resultMagic[:])
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(meta)))
 	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(meta, crcTable))
-	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, crcTable))
-	for _, chunk := range [][]byte{hdr[:], meta, payload} {
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(frame.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(frame.Bytes(), crcTable))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(payload)))
+	for _, chunk := range [][]byte{hdr[:], meta, frame.Bytes()} {
 		if _, err := tmp.Write(chunk); err != nil {
 			tmp.Close()
 			return err
@@ -214,8 +268,8 @@ func (s *Results) Put(key string, meta, payload []byte) error {
 		s.ll.MoveToFront(el)
 		return nil
 	}
-	s.items[key] = s.ll.PushFront(&resultEntry{key: key, size: int64(len(payload))})
-	s.bytes += int64(len(payload))
+	s.items[key] = s.ll.PushFront(&resultEntry{key: key, size: int64(frame.Len())})
+	s.bytes += int64(frame.Len())
 	s.evictLocked()
 	return nil
 }
@@ -273,22 +327,41 @@ func (s *Results) Get(key string) (meta, payload []byte, ok bool) {
 		return nil, nil, false
 	}
 	defer f.Close()
-	metaLen, payLen, metaCRC, payCRC, err := readHeader(f)
+	hdr, err := readHeader(f)
 	if err != nil {
 		s.drop(key)
 		return nil, nil, false
 	}
-	meta = make([]byte, metaLen)
-	payload = make([]byte, payLen)
+	meta = make([]byte, hdr.metaLen)
+	frame := make([]byte, hdr.payLen)
 	if _, err := io.ReadFull(f, meta); err != nil {
 		s.drop(key)
 		return nil, nil, false
 	}
-	if _, err := io.ReadFull(f, payload); err != nil {
+	if _, err := io.ReadFull(f, frame); err != nil {
 		s.drop(key)
 		return nil, nil, false
 	}
-	if crc32.Checksum(meta, crcTable) != metaCRC || crc32.Checksum(payload, crcTable) != payCRC {
+	if crc32.Checksum(meta, crcTable) != hdr.metaCRC || crc32.Checksum(frame, crcTable) != hdr.payCRC {
+		s.drop(key)
+		return nil, nil, false
+	}
+	if !hdr.compressed {
+		return meta, frame, true
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(frame))
+	if err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	payload = make([]byte, hdr.rawLen)
+	if _, err := io.ReadFull(zr, payload); err != nil {
+		s.drop(key)
+		return nil, nil, false
+	}
+	// The frame must inflate to exactly rawLen bytes: a longer stream
+	// means the header lies about the payload.
+	if n, err := zr.Read(make([]byte, 1)); n != 0 || err != io.EOF {
 		s.drop(key)
 		return nil, nil, false
 	}
@@ -296,12 +369,14 @@ func (s *Results) Get(key string) (meta, payload []byte, ok bool) {
 }
 
 // Open returns the verified meta plus a streaming reader over the
-// payload, so the caller can serve a result without buffering it. The
-// payload checksum is verified incrementally; if the bytes on disk do
-// not add up, the reader's final Read returns ErrCorrupt (after which
-// the entry has been dropped) — by then earlier bytes may already have
-// been sent, which is why streaming consumers must be able to abort
-// (chunked HTTP transfer does this naturally).
+// decompressed payload, so the caller can serve a result without
+// buffering it. size is the decompressed payload length. The
+// compressed frame's checksum is verified incrementally as decompression
+// pulls it; if the bytes on disk do not add up, the reader returns
+// ErrCorrupt at the point of detection (after which the entry has been
+// dropped) — by then earlier bytes may already have been sent, which
+// is why streaming consumers must be able to abort (chunked HTTP
+// transfer does this naturally).
 func (s *Results) Open(key string) (meta []byte, r io.ReadCloser, size int64, ok bool) {
 	if !validKey(key) || !s.touch(key) {
 		return nil, nil, 0, false
@@ -311,26 +386,64 @@ func (s *Results) Open(key string) (meta []byte, r io.ReadCloser, size int64, ok
 		s.drop(key)
 		return nil, nil, 0, false
 	}
-	metaLen, payLen, metaCRC, payCRC, err := readHeader(f)
+	hdr, err := readHeader(f)
 	if err != nil {
 		f.Close()
 		s.drop(key)
 		return nil, nil, 0, false
 	}
-	meta = make([]byte, metaLen)
-	if _, err := io.ReadFull(f, meta); err != nil || crc32.Checksum(meta, crcTable) != metaCRC {
+	meta = make([]byte, hdr.metaLen)
+	if _, err := io.ReadFull(f, meta); err != nil || crc32.Checksum(meta, crcTable) != hdr.metaCRC {
 		f.Close()
 		s.drop(key)
 		return nil, nil, 0, false
 	}
 	vr := &verifyReader{
-		r:    io.LimitReader(f, payLen),
+		r:    io.LimitReader(f, hdr.payLen),
 		f:    f,
-		want: payCRC,
-		left: payLen,
+		want: hdr.payCRC,
+		left: hdr.payLen,
 		bad:  func() { s.drop(key) },
 	}
-	return meta, vr, payLen, true
+	if !hdr.compressed {
+		return meta, vr, hdr.payLen, true
+	}
+	zr, err := gzip.NewReader(vr)
+	if err != nil {
+		// Already-corrupt gzip header: verifyReader may not have seen
+		// EOF yet, so drop explicitly.
+		s.drop(key)
+		f.Close()
+		return nil, nil, 0, false
+	}
+	return meta, &gunzipReader{z: zr, vr: vr, bad: func() { s.drop(key) }}, hdr.rawLen, true
+}
+
+// gunzipReader streams the decompressed payload. Errors from the
+// compressed layer (CRC mismatch from verifyReader) or the gzip frame
+// itself (bad block, gzip's own checksum) surface as ErrCorrupt and
+// drop the entry.
+type gunzipReader struct {
+	z   *gzip.Reader
+	vr  *verifyReader
+	bad func()
+}
+
+func (g *gunzipReader) Read(p []byte) (int, error) {
+	n, err := g.z.Read(p)
+	if err != nil && err != io.EOF {
+		if g.bad != nil {
+			g.bad()
+			g.bad = nil
+		}
+		return n, ErrCorrupt
+	}
+	return n, err
+}
+
+func (g *gunzipReader) Close() error {
+	g.z.Close()
+	return g.vr.Close()
 }
 
 // verifyReader streams a payload while accumulating its CRC; EOF is

@@ -2,7 +2,10 @@ package store
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,6 +18,16 @@ import (
 
 // tkey makes a valid (hex) store key from a short name.
 func tkey(n int) string { return fmt.Sprintf("%02x", n) }
+
+// gzLen returns the size of a payload's gzipped at-rest frame — the
+// store's accounting unit since the SAR2 format.
+func gzLen(p []byte) int64 {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(p)
+	zw.Close()
+	return int64(buf.Len())
+}
 
 func openStore(t *testing.T, dir string, maxEntries int, maxBytes int64) *Results {
 	t.Helper()
@@ -36,8 +49,8 @@ func TestResultsRoundTrip(t *testing.T) {
 	if !ok || !bytes.Equal(gotMeta, meta) || !bytes.Equal(gotPayload, payload) {
 		t.Fatalf("Get: ok=%v meta=%q payload=%q", ok, gotMeta, gotPayload)
 	}
-	if s.Len() != 1 || s.Bytes() != int64(len(payload)) {
-		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	if s.Len() != 1 || s.Bytes() != gzLen(payload) {
+		t.Fatalf("Len=%d Bytes=%d, want 1/%d", s.Len(), s.Bytes(), gzLen(payload))
 	}
 	if _, _, ok := s.Get("cd34"); ok {
 		t.Fatal("Get of a missing key succeeded")
@@ -153,19 +166,29 @@ func TestResultsEvictionDeterminism(t *testing.T) {
 		t.Fatalf("after Get+Put: %v, want %v", got, want)
 	}
 
-	// Byte bound: a store capped at 25 payload bytes holds at most two
-	// 12-byte payloads.
-	s2 := openStore(t, t.TempDir(), 0, 25)
+	// Byte bound (on the compressed at-rest frames): a store capped at
+	// two-and-a-half frames holds at most two of these payloads.
+	small := bytes.Repeat([]byte{'B'}, 12)
+	frame := gzLen(small)
+	s2 := openStore(t, t.TempDir(), 0, 2*frame+frame/2)
 	for i := 1; i <= 4; i++ {
-		if err := s2.Put(tkey(10+i), []byte(`{}`), bytes.Repeat([]byte{'B'}, 12)); err != nil {
+		if err := s2.Put(tkey(10+i), []byte(`{}`), small); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got, want := s2.Keys(), []string{tkey(14), tkey(13)}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("byte-bounded keys: %v, want %v", got, want)
 	}
-	// An oversized payload is refused outright, evicting nothing.
-	if err := s2.Put(tkey(20), []byte(`{}`), bytes.Repeat([]byte{'C'}, 26)); err != nil {
+	// A payload whose compressed frame alone exceeds the bound is
+	// refused outright, evicting nothing.
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i*131 + i>>3) // poorly compressible
+	}
+	if gzLen(big) <= 2*frame+frame/2 {
+		t.Fatalf("test payload compresses to %d, not oversized", gzLen(big))
+	}
+	if err := s2.Put(tkey(20), []byte(`{}`), big); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := s2.Keys(), []string{tkey(14), tkey(13)}; !reflect.DeepEqual(got, want) {
@@ -182,7 +205,7 @@ func TestResultsRestartRebuildsIndex(t *testing.T) {
 		if err := s.Put(tkey(i), []byte(`{}`), payload); err != nil {
 			t.Fatal(err)
 		}
-		wantBytes += int64(len(payload))
+		wantBytes += gzLen(payload)
 		// Distinct mtimes so the rebuilt recency order is deterministic.
 		mt := time.Now().Add(time.Duration(i) * time.Hour)
 		if err := os.Chtimes(filepath.Join(dir, tkey(i)), mt, mt); err != nil {
@@ -240,5 +263,53 @@ func TestResultsConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() > 8 {
 		t.Fatalf("Len = %d exceeds bound", s.Len())
+	}
+}
+
+// TestResultsReadsV1Files: files written by the pre-gzip "SAR1" format
+// (raw payload, 24-byte header) must stay readable — both the full
+// read and the streaming path — and account at their raw size.
+func TestResultsReadsV1Files(t *testing.T) {
+	dir := t.TempDir()
+	meta := []byte(`{"num_seqs":2}`)
+	payload := []byte(">a\nACDEF\n>b\nAC-EF\n")
+	hdr := make([]byte, resultHeaderLenV1)
+	copy(hdr[0:4], resultMagicV1[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(meta)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(meta, crcTable))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, crcTable))
+	file := append(append(append([]byte{}, hdr...), meta...), payload...)
+	if err := os.WriteFile(filepath.Join(dir, tkey(7)), file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, dir, 0, 0)
+	if s.Len() != 1 || s.Bytes() != int64(len(payload)) {
+		t.Fatalf("v1 rescan: Len=%d Bytes=%d, want 1/%d", s.Len(), s.Bytes(), len(payload))
+	}
+	gotMeta, gotPayload, ok := s.Get(tkey(7))
+	if !ok || !bytes.Equal(gotMeta, meta) || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("v1 Get: ok=%v meta=%q payload=%q", ok, gotMeta, gotPayload)
+	}
+	_, rc, size, ok := s.Open(tkey(7))
+	if !ok || size != int64(len(payload)) {
+		t.Fatalf("v1 Open: ok=%v size=%d", ok, size)
+	}
+	defer rc.Close()
+	streamed, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, payload) {
+		t.Fatalf("v1 stream: %q", streamed)
+	}
+
+	// A fresh Put alongside it writes the current format; both coexist.
+	if err := s.Put(tkey(8), meta, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, p2, ok := s.Get(tkey(8)); !ok || !bytes.Equal(p2, payload) {
+		t.Fatal("v2 neighbour unreadable")
 	}
 }
