@@ -25,6 +25,7 @@ type coreInprocAligner struct {
 func (a *coreInprocAligner) Name() string { return fmt.Sprintf("sample-align-d:%d", a.p) }
 
 func (a *coreInprocAligner) Align(seqs []Sequence) (*msa.Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return a.AlignContext(context.Background(), seqs)
 }
 

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/bio"
 	"repro/internal/dp"
@@ -119,6 +120,7 @@ func (l *library) weight(i int, a int, j int, b int) float64 {
 
 // Align runs the full consistency pipeline.
 func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return a.AlignContext(context.Background(), seqs)
 }
 
@@ -240,9 +242,24 @@ func (a *Aligner) extendLibrary(lib *library, seqs [][]byte) *library {
 			if m == nil {
 				continue
 			}
+			// Build the adjacency from sorted keys, not map order:
+			// the extension below accumulates min-weights in edge-list
+			// order, and float rounding makes that order visible in the
+			// support values across runs.
+			keys := make([]pairKey, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				if keys[a].posI != keys[b].posI {
+					return keys[a].posI < keys[b].posI
+				}
+				return keys[a].posJ < keys[b].posJ
+			})
 			fwd := map[int32][]edge{}
 			rev := map[int32][]edge{}
-			for k, w := range m {
+			for _, k := range keys {
+				w := m[k]
 				fwd[k.posI] = append(fwd[k.posI], edge{to: k.posJ, w: w})
 				rev[k.posJ] = append(rev[k.posJ], edge{to: k.posI, w: w})
 			}

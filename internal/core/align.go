@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	//lint:allow determinism rand is only used by the RandomSampling ablation, seeded per-rank with a fixed constant
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/bio"
 	"repro/internal/kmer"
@@ -17,6 +17,7 @@ import (
 // its local slice of the input. The full alignment is returned on rank 0
 // (nil elsewhere); Stats are returned on every rank.
 func Align(c mpi.Comm, local []bio.Sequence, cfg Config) (*msa.Alignment, *Stats, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return AlignContext(context.Background(), c, local, cfg)
 }
 
@@ -57,7 +58,7 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	c = mpi.WithContext(ctx, c)
 	cfg = cfg.withDefaults(c.Size())
 	stats := &Stats{Rank: c.Rank()}
-	tStart := time.Now()
+	tStart := startClock()
 
 	counter, err := kmer.NewCounter(cfg.Compress, cfg.K)
 	if err != nil {
@@ -99,7 +100,7 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 
 	// ------- local alignment of the bucket (paper step: "align sequences
 	// in each processor using any sequential multiple alignment system")
-	tPhase := time.Now()
+	tPhase := startClock()
 	localAligner := cfg.NewLocalAligner(cfg.Workers)
 	if kc, ok := localAligner.(msa.KernelConfigurable); ok {
 		kc.SetKernel(cfg.Kernel)
@@ -115,17 +116,17 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 		}
 		return nil, nil, fmt.Errorf("core: rank %d local alignment: %w", c.Rank(), err)
 	}
-	stats.Timings.LocalAlign = time.Since(tPhase)
+	stats.Timings.LocalAlign = tPhase.elapsed()
 
 	if p == 1 {
-		stats.Timings.Total = time.Since(tStart)
+		stats.Timings.Total = tStart.elapsed()
 		stats.Comm = c.Stats().Snapshot()
 		stats.BucketSizes = []int{len(bucket)}
 		return localAln, stats, nil
 	}
 
 	// ------- ancestor phases
-	tPhase = time.Now()
+	tPhase = startClock()
 	var localAnc []byte
 	if localAln.NumSeqs() > 0 {
 		localAnc, err = localAln.Consensus(cfg.Sub.Alphabet(), cfg.AncestorOcc)
@@ -148,10 +149,10 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 		return nil, nil, ctxErr(ctx, err)
 	}
 	stats.GALen = len(ga)
-	stats.Timings.Ancestor = time.Since(tPhase)
+	stats.Timings.Ancestor = tPhase.elapsed()
 
 	// ------- fine-tune against the GA template and glue at the root
-	tPhase = time.Now()
+	tPhase = startClock()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -159,15 +160,15 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Timings.FineTune = time.Since(tPhase)
+	stats.Timings.FineTune = tPhase.elapsed()
 
-	tPhase = time.Now()
+	tPhase = startClock()
 	final, err := glue(c, localAln, bucket, path, len(ga), cfg)
 	if err != nil {
 		return nil, nil, ctxErr(ctx, err)
 	}
-	stats.Timings.Glue = time.Since(tPhase)
-	stats.Timings.Total = time.Since(tStart)
+	stats.Timings.Glue = tPhase.elapsed()
+	stats.Timings.Total = tStart.elapsed()
 	stats.Comm = c.Stats().Snapshot()
 	return final, stats, nil
 }
@@ -220,7 +221,7 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	p, rank := c.Size(), c.Rank()
 
 	// --- phase 1: local rank + local sort
-	tPhase := time.Now()
+	tPhase := startClock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -237,10 +238,10 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	}
 	sortByRank(seqs)
 	sortProfilesLike(profiles, seqs, counter)
-	stats.Timings.LocalRank = time.Since(tPhase)
+	stats.Timings.LocalRank = tPhase.elapsed()
 
 	// --- phase 2: sample exchange + globalised rank
-	tPhase = time.Now()
+	tPhase = startClock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -271,10 +272,10 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 		seqs[i].Rank = globalRanks[i]
 	}
 	sortByRank(seqs)
-	stats.Timings.Sampling = time.Since(tPhase)
+	stats.Timings.Sampling = tPhase.elapsed()
 
 	// --- phase 3: regular sampling of p-1 rank keys, pivot selection
-	tPhase = time.Now()
+	tPhase = startClock()
 	sampleKeys := regularRankSample(seqs, p-1)
 	gathered, err := mpi.GatherValues(c, 0, tagPivotGather, sampleKeys)
 	if err != nil {
@@ -291,10 +292,10 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	if err := mpi.BcastValue(c, 0, tagPivots, pivots, &pivots); err != nil {
 		return nil, err
 	}
-	stats.Timings.Pivoting = time.Since(tPhase)
+	stats.Timings.Pivoting = tPhase.elapsed()
 
 	// --- phase 4: bucket partition + all-to-all exchange
-	tPhase = time.Now()
+	tPhase = startClock()
 	parts := make([][]wireSeq, p)
 	for _, ws := range seqs {
 		key := pivotKey{Rank: ws.Rank, Orig: ws.Orig}
@@ -310,7 +311,7 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 		bucket = append(bucket, part...)
 	}
 	sortByRank(bucket)
-	stats.Timings.Redistrib = time.Since(tPhase)
+	stats.Timings.Redistrib = tPhase.elapsed()
 
 	// root records all bucket sizes for the load-balance analysis
 	sizes, err := mpi.GatherValues(c, 0, tagBarrier, len(bucket))

@@ -22,6 +22,7 @@ type Result struct {
 // are dealt out block-wise (rank r gets seqs[r·N/p:(r+1)·N/p]) and the
 // final alignment is returned in input order.
 func AlignInproc(seqs []bio.Sequence, p int, cfg Config) (*Result, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return AlignInprocContext(context.Background(), seqs, p, cfg)
 }
 
@@ -114,6 +115,7 @@ func (a *InprocAligner) Name() string { return fmt.Sprintf("sample-align-d(p=%d)
 
 // Align satisfies msa.Aligner.
 func (a *InprocAligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return a.AlignContext(context.Background(), seqs)
 }
 

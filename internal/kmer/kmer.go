@@ -228,6 +228,7 @@ const DefaultTileSize = 128
 // profiles, in parallel across cache-sized tiles of the upper-
 // triangular pair space (see DistanceMatrixTiled).
 func DistanceMatrix(profiles []Profile, workers int) *Matrix {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	m, _ := DistanceMatrixTiled(context.Background(), profiles, workers, 0)
 	return m
 }
@@ -346,6 +347,7 @@ func Rank(d, scale float64) float64 { return math.Log(0.1 + scale*d) }
 // the reference contributes its self-distance of 0, exactly as the
 // paper's centralised definition does.
 func AvgDistances(targets, reference []Profile, workers int) []float64 {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	out, _ := AvgDistancesContext(context.Background(), targets, reference, workers)
 	return out
 }
@@ -370,6 +372,7 @@ func AvgDistancesContext(ctx context.Context, targets, reference []Profile, work
 // set: centralised ranks when reference is the full data set, globalised
 // ranks when it is the k·p sample.
 func Ranks(targets, reference []Profile, scale float64, workers int) []float64 {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	out, _ := RanksContext(context.Background(), targets, reference, scale, workers)
 	return out
 }

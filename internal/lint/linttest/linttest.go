@@ -1,0 +1,202 @@
+// Package linttest is the fixture harness of the analyzer suite: the
+// analysistest pattern (expected findings annotated in the fixture
+// source with `// want "regexp"` comments) rebuilt on the standard
+// library. Fixture packages live under internal/lint/testdata/src/<name>
+// and are type-checked against real compiled export data obtained from
+// one `go list -export` run, so fixtures may import the standard
+// library and repro/internal/dp.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixtureImports are the packages fixtures may import; their full
+// dependency closures are exported once per test process.
+var fixtureImports = []string{
+	"bytes", "context", "fmt", "io", "math/rand", "os", "sort",
+	"strings", "sync", "time",
+	"repro/internal/dp",
+}
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// moduleRoot walks up from the current directory to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func exports(t *testing.T) map[string]string {
+	t.Helper()
+	exportOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			exportErr = err
+			return
+		}
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, fixtureImports...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+			return
+		}
+		exportMap = map[string]string{}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				exportErr = err
+				return
+			}
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if exportErr != nil {
+		t.Fatalf("loading fixture export data: %v", exportErr)
+	}
+	return exportMap
+}
+
+// expectation is one `// want "rx"` annotation.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]+)`|\"([^\"]+)\"")
+
+// parseWants extracts expectations from a file's comments. A comment
+// of the form `// want "rx1" "rx2"` (or backquoted) expects one
+// diagnostic per pattern on the comment's line.
+func parseWants(fset *token.FileSet, f *ast.File) []*expectation {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					panic(fmt.Sprintf("%s: bad want pattern %q: %v", pos, pat, err))
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return out
+}
+
+// Run analyzes the fixture package in testdata/src/<name> as if it had
+// import path asPath, running only the named analyzer (plus the
+// always-on suppression-directive validation), and compares
+// diagnostics against the fixture's want annotations.
+func Run(t *testing.T, analyzer, name, asPath string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(fset, f)...)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: lint.ExportImporter(fset, exports(t))}
+	pkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	diags := lint.Run(fset, files, asPath, pkg, info, map[string]bool{analyzer: true})
+
+	var problems []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s [%s]", pos, d.Message, d.Analyzer))
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx))
+		}
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

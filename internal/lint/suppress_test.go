@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	//lint:allow ctxflow documented compat shim
+	g()
+	h() //lint:allow durerr audited discard, nothing was written
+}
+
+func g() {}
+func h() {}
+`)
+	mk := func(line int, analyzer string) Diagnostic {
+		var pos token.Pos
+		fset.Iterate(func(f *token.File) bool {
+			pos = f.LineStart(line)
+			return false
+		})
+		return Diagnostic{Pos: pos, Analyzer: analyzer, Message: "x"}
+	}
+	out := applySuppressions(fset, files, []Diagnostic{
+		mk(5, "ctxflow"),     // covered by the directive on line 4
+		mk(6, "durerr"),      // covered by the same-line directive
+		mk(5, "determinism"), // different analyzer: not covered
+		mk(9, "ctxflow"),     // no directive near line 9
+	})
+	if len(out) != 2 {
+		t.Fatalf("got %d surviving diagnostics, want 2: %+v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Analyzer != "determinism" && d.Analyzer != "ctxflow" {
+			t.Errorf("unexpected survivor %+v", d)
+		}
+	}
+}
+
+func TestReasonlessDirectiveIsReported(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:allow ctxflow
+func f() {}
+
+//lint:allow nosuchanalyzer because reasons
+func g() {}
+`)
+	out := applySuppressions(fset, files, nil)
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(out), out)
+	}
+	var sawReasonless, sawUnknown bool
+	for _, d := range out {
+		if d.Analyzer != "lintdirective" {
+			t.Errorf("diagnostic has analyzer %q, want lintdirective", d.Analyzer)
+		}
+		if strings.Contains(d.Message, "needs a written reason") {
+			sawReasonless = true
+		}
+		if strings.Contains(d.Message, "must name one of the suite's analyzers") {
+			sawUnknown = true
+		}
+	}
+	if !sawReasonless || !sawUnknown {
+		t.Errorf("missing expected directive findings: %+v", out)
+	}
+}
+
+func TestReasonlessDirectiveDoesNotSuppress(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//lint:allow ctxflow
+func f() {}
+`)
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(4)
+		return false
+	})
+	out := applySuppressions(fset, files, []Diagnostic{
+		{Pos: pos, Analyzer: "ctxflow", Message: "finding"},
+	})
+	// The reasonless directive is reported AND the finding survives.
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (directive + unsuppressed finding): %+v", len(out), out)
+	}
+}

@@ -1,0 +1,49 @@
+// Fixture for the ctxflow analyzer: context origination and dropped
+// ctx parameters in library code, plus the suppression directive.
+package ctxflow
+
+import "context"
+
+func origin() context.Context {
+	ctx := context.Background() // want `must not call context\.Background`
+	return ctx
+}
+
+func todo() context.Context {
+	return context.TODO() // want `must not call context\.TODO`
+}
+
+func originInClosure() func() context.Context {
+	return func() context.Context {
+		return context.Background() // want `must not call context\.Background`
+	}
+}
+
+func dropped(ctx context.Context, n int) int { // want `context parameter ctx is dropped`
+	return n + 1
+}
+
+func droppedNamedOther(parent context.Context) { // want `context parameter parent is dropped`
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Stating the drop with _ is the approved form for interface stubs.
+func explicitDrop(_ context.Context) {}
+
+// A documented suppression silences the finding.
+func allowedOrigin() context.Context {
+	//lint:allow ctxflow fixture: compatibility wrapper roots a fresh context by design
+	return context.Background()
+}
+
+func allowedSameLine() context.Context {
+	return context.TODO() //lint:allow ctxflow fixture: sentinel context, never awaited
+}

@@ -1,0 +1,16 @@
+// Scoping fixture: a cmd/* package may originate contexts freely —
+// none of the calls below carry want annotations, so the test fails if
+// ctxflow ever fires outside its library scope.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+	_ = context.TODO()
+}
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,18 @@
+// Scoping fixture: internal/serve is not a determinism-critical
+// package — wall clocks and map iteration are its daily business
+// (deadlines, metrics), so the analyzer must stay silent here.
+package serve
+
+import "time"
+
+func deadline(ms int64) time.Time {
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}
+
+func snapshot(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,78 @@
+// Fixture for the durerr analyzer: silently discarded durability
+// errors in the store/serve packages. The fixture is type-checked as
+// repro/internal/store, so its own error-returning helpers stand in
+// for the CRC-framed write paths.
+package durerr
+
+import (
+	"io"
+	"os"
+)
+
+func syncDiscarded(f *os.File) {
+	f.Sync() // want `\(\*os\.File\)\.Sync error discarded`
+}
+
+func closeDiscarded(f *os.File) {
+	f.Close() // want `os\.File\.Close error discarded`
+}
+
+func closeDeferDiscarded(f *os.File) {
+	defer f.Close() // want `discarded by defer`
+}
+
+func closerDiscarded(c io.Closer) {
+	c.Close() // want `io\.Closer\.Close error discarded`
+}
+
+func renameDiscarded(a, b string) {
+	os.Rename(a, b) // want `os\.Rename error discarded`
+}
+
+func removeDiscarded(p string) {
+	os.Remove(p) // want `os\.Remove error discarded`
+}
+
+func appendFrame() error { return nil }
+
+func writePathDiscarded() {
+	appendFrame() // want `store write path appendFrame`
+}
+
+func goDiscarded(f *os.File) {
+	go f.Sync() // want `discarded by go`
+}
+
+func syncHandled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func closeAudited(f *os.File) {
+	// Read path: nothing was written, an audited discard is fine.
+	_ = f.Close()
+}
+
+func deferAudited(f *os.File) {
+	defer func() { _ = f.Close() }()
+}
+
+func renameHandled(a, b string) error {
+	return os.Rename(a, b)
+}
+
+func writePathHandled() error {
+	return appendFrame()
+}
+
+func allowedDiscard(f *os.File) {
+	f.Sync() //lint:allow durerr fixture: best-effort sync on a scratch file
+}
+
+func noErrorResult() {}
+
+func fineStatement() {
+	noErrorResult()
+}

@@ -1,0 +1,15 @@
+// Scoping fixture: durerr is scoped to the durability packages; a
+// discarded Close outside internal/store and internal/serve is the
+// business of general code review, not of this analyzer.
+package kmer
+
+import "os"
+
+func slurp(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}

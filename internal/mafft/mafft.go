@@ -89,6 +89,7 @@ func (a *Aligner) SetKernel(k dpkern.Kernel) { a.opts.Kernel = k }
 
 // Align runs the pipeline.
 func (a *Aligner) Align(seqs []bio.Sequence) (*msa.Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return a.AlignContext(context.Background(), seqs)
 }
 

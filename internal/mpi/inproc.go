@@ -166,6 +166,7 @@ func (c *inprocComm) Send(to, tag int, data []byte) error {
 }
 
 func (c *inprocComm) Recv(from, tag int) ([]byte, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return c.RecvContext(context.Background(), from, tag)
 }
 
@@ -190,6 +191,7 @@ func (c *inprocComm) Close() error {
 // waits for all of them. It returns the first non-nil error; on error the
 // world is closed so other ranks unblock.
 func Run(size int, fn func(Comm) error) error {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return RunContext(context.Background(), size, fn)
 }
 

@@ -51,6 +51,7 @@ type Comm interface {
 // blocking collective honor cancellation with no further plumbing.
 // Binding to context.Background() returns c unchanged.
 func WithContext(ctx context.Context, c Comm) Comm {
+	//lint:allow ctxflow sentinel comparison against the Background singleton, no context is created
 	if ctx == context.Background() || ctx.Done() == nil {
 		return c
 	}

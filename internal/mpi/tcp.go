@@ -41,6 +41,7 @@ type tcpComm struct {
 // Every rank of the world must call DialTCP concurrently (they block on
 // each other).
 func DialTCP(cfg TCPConfig) (Comm, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return DialTCPContext(context.Background(), cfg)
 }
 
@@ -240,6 +241,7 @@ func (c *tcpComm) Send(to, tag int, data []byte) error {
 }
 
 func (c *tcpComm) Recv(from, tag int) ([]byte, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return c.RecvContext(context.Background(), from, tag)
 }
 

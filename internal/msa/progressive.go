@@ -160,6 +160,7 @@ func (p *Progressive) Options() Options { return p.opts }
 
 // DistanceMatrix computes the configured guide-tree distance matrix.
 func (p *Progressive) DistanceMatrix(seqs []bio.Sequence) (*kmer.Matrix, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return p.DistanceMatrixContext(context.Background(), seqs)
 }
 
@@ -224,6 +225,7 @@ func (p *Progressive) GuideTree(d *kmer.Matrix, seqs []bio.Sequence) *tree.Node 
 
 // Align runs the full progressive pipeline.
 func (p *Progressive) Align(seqs []bio.Sequence) (*Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return p.AlignContext(context.Background(), seqs)
 }
 
@@ -273,6 +275,7 @@ type group struct {
 // AlignWithTree performs the post-order progressive merge over an
 // explicit guide tree. weights may be nil (unit weights).
 func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return p.AlignWithTreeContext(context.Background(), seqs, gt, weights)
 }
 

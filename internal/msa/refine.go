@@ -16,6 +16,7 @@ import (
 // sampled) SP score does not decrease. `rounds` full passes over the
 // edges are made; refinement stops early when a pass changes nothing.
 func (p *Progressive) RefineAlignment(aln *Alignment, gt *tree.Node, rounds int) *Alignment {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	out, _ := p.RefineAlignmentContext(context.Background(), aln, gt, rounds)
 	return out
 }

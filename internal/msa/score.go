@@ -2,6 +2,7 @@ package msa
 
 import (
 	"fmt"
+	//lint:allow determinism SPScoreSampled's rng is seeded by the caller's explicit seed parameter
 	"math/rand"
 
 	"repro/internal/bio"

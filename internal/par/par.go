@@ -23,6 +23,7 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // locality. For blocks until every call returns. workers <= 0 selects
 // DefaultWorkers(); n <= 0 is a no-op.
 func For(n, workers int, body func(i int)) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	_ = ForCtx(context.Background(), n, workers, body)
 }
 
@@ -87,6 +88,7 @@ func ForCtx(ctx context.Context, n, workers int, body func(i int)) error {
 // shared counter, which balances load when per-index cost varies wildly
 // (for example, distance-matrix rows of decreasing length).
 func ForDynamic(n, workers int, body func(i int)) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	_ = ForDynamicCtx(context.Background(), n, workers, body)
 }
 
@@ -148,6 +150,7 @@ func ForDynamicCtx(ctx context.Context, n, workers int, body func(i int)) error 
 // sums, nearest-neighbour cache refreshes) while keeping the dynamic
 // load balance of ForDynamic for blocks of uneven cost.
 func ForBlocks(n, block, workers int, body func(lo, hi int)) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	_ = ForBlocksCtx(context.Background(), n, block, workers, body)
 }
 

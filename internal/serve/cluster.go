@@ -105,7 +105,7 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 		defer connsMu.Unlock()
 		for _, conn := range conns {
 			if conn != nil {
-				conn.Close()
+				_ = conn.Close()
 			}
 		}
 	}
@@ -171,13 +171,13 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 	if err != nil {
 		return nil, ExecReport{}, fmt.Errorf("serve: cluster mesh: %w", err)
 	}
-	defer comm.Close()
+	defer func() { _ = comm.Close() }() // teardown; run errors surface from Align
 	commWatch := make(chan struct{})
 	defer close(commWatch)
 	go func() {
 		select {
 		case <-ctx.Done():
-			comm.Close()
+			_ = comm.Close()
 			closeConns()
 		case <-commWatch:
 		}

@@ -284,7 +284,7 @@ func (s *Server) streamResult(w http.ResponseWriter, job *Job) bool {
 	if !ok {
 		return false
 	}
-	defer rc.Close()
+	defer func() { _ = rc.Close() }() // read side; corruption already surfaced via Open
 	writeFASTAHeaders(w, job)
 	w.WriteHeader(http.StatusOK)
 	// Commit the header now: with no Content-Length this locks the

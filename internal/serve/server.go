@@ -328,6 +328,7 @@ type Server struct {
 // failures.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	//lint:allow ctxflow server-lifetime root context, cancelled by (*Server).Close
 	ctx, cancel := context.WithCancelCause(context.Background())
 	// CacheEntries < 0 disables caching entirely, whatever the byte
 	// bound says (a negative byte bound alone only means "no byte cap").

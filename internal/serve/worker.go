@@ -36,10 +36,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if err != nil {
 		return fmt.Errorf("serve: worker listen %s: %w", cfg.CtrlAddr, err)
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }()
 	go func() {
 		<-ctx.Done()
-		ln.Close() // unblock Accept
+		_ = ln.Close() // unblock Accept
 	}()
 	cfg.Logf("worker: control on %s, mesh on %s", ln.Addr(), cfg.MeshAddr)
 	for {
@@ -60,7 +60,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // connection. The returned error is also reported to the coordinator in
 // the final ack when the connection still works.
 func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 
@@ -103,7 +103,7 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error
 	// Unblock the reader (it sits in conn.Read) before waiting for it;
 	// double-closing conn is harmless and the outer defer still covers
 	// early returns above.
-	defer func() { conn.Close(); <-watchDone }()
+	defer func() { _ = conn.Close(); <-watchDone }()
 	go func() {
 		defer close(watchDone)
 		var one [1]byte
@@ -120,13 +120,13 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error
 	go func() {
 		select {
 		case <-jobCtx.Done():
-			comm.Close()
+			_ = comm.Close()
 		case <-commWatch:
 		}
 	}()
 	_, _, runErr := core.AlignContext(jobCtx, comm, shard, spec.Options.CoreConfig())
 	close(commWatch)
-	comm.Close()
+	_ = comm.Close()
 	if runErr != nil {
 		enc.Encode(jobAck{Error: runErr.Error()})
 		return fmt.Errorf("rank %d: %w", spec.Rank, runErr)

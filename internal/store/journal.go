@@ -86,20 +86,23 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 	}
 	recs, goodOff, err := replay(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if fi, err := f.Stat(); err == nil && fi.Size() > goodOff {
 		// Torn tail: drop it so the next append starts at a record
 		// boundary instead of extending garbage.
 		if err := f.Truncate(goodOff); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, fmt.Errorf("store: truncating corrupt journal tail: %w", err)
 		}
-		f.Sync()
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: syncing truncated journal: %w", err)
+		}
 	}
 	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	return &Journal{f: f, path: path, records: int64(len(recs)), bytes: goodOff}, recs, nil
@@ -203,8 +206,8 @@ func (j *Journal) Rewrite(recs []Record) error {
 		return err
 	}
 	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	var total int64
@@ -230,7 +233,7 @@ func (j *Journal) Rewrite(recs []Record) error {
 	// handle IS the new journal — keep writing through it rather than
 	// reopening (a failed reopen would leave appends going to the
 	// replaced, unlinked inode while reporting durable success).
-	j.f.Close()
+	_ = j.f.Close()
 	j.f = tmp
 	j.records = int64(len(recs))
 	j.bytes = total
@@ -272,7 +275,7 @@ func (j *Journal) Close() error {
 // best-effort because some filesystems refuse directory fsync.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }

@@ -109,12 +109,12 @@ func OpenResults(dir string, maxEntries int, maxBytes int64) (*Results, error) {
 		}
 		path := filepath.Join(dir, name)
 		if strings.HasPrefix(name, ".") { // orphaned temp file from a crash mid-Put
-			os.Remove(path)
+			_ = os.Remove(path)
 			continue
 		}
 		size, ok := statResult(path)
 		if !ok {
-			os.Remove(path) // unreadable or inconsistent header: not a result
+			_ = os.Remove(path) // unreadable or inconsistent header: not a result
 			continue
 		}
 		info, err := e.Info()
@@ -145,7 +145,7 @@ func statResult(path string) (int64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open
 	hdr, err := readHeader(f)
 	if err != nil {
 		return 0, false
@@ -236,7 +236,8 @@ func (s *Results) Put(key string, meta, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	// After a successful rename the Remove fails with ENOENT, harmlessly.
+	defer func() { _ = os.Remove(tmp.Name()) }()
 	var hdr [resultHeaderLen]byte
 	copy(hdr[0:4], resultMagic[:])
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(meta)))
@@ -246,12 +247,12 @@ func (s *Results) Put(key string, meta, payload []byte) error {
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(payload)))
 	for _, chunk := range [][]byte{hdr[:], meta, frame.Bytes()} {
 		if _, err := tmp.Write(chunk); err != nil {
-			tmp.Close()
+			_ = tmp.Close()
 			return err
 		}
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -286,7 +287,7 @@ func (s *Results) evictLocked() {
 		delete(s.items, ent.key)
 		s.bytes -= ent.size
 		s.evictions++
-		os.Remove(filepath.Join(s.dir, ent.key))
+		_ = os.Remove(filepath.Join(s.dir, ent.key)) // rescan reaps any survivor
 	}
 }
 
@@ -300,7 +301,7 @@ func (s *Results) drop(key string) {
 		delete(s.items, key)
 		s.bytes -= ent.size
 	}
-	os.Remove(filepath.Join(s.dir, key))
+	_ = os.Remove(filepath.Join(s.dir, key)) // rescan reaps any survivor
 }
 
 // touch refreshes key's recency; reports whether it is indexed.
@@ -326,7 +327,7 @@ func (s *Results) Get(key string) (meta, payload []byte, ok bool) {
 		s.drop(key)
 		return nil, nil, false
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open
 	hdr, err := readHeader(f)
 	if err != nil {
 		s.drop(key)
@@ -388,13 +389,13 @@ func (s *Results) Open(key string) (meta []byte, r io.ReadCloser, size int64, ok
 	}
 	hdr, err := readHeader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		s.drop(key)
 		return nil, nil, 0, false
 	}
 	meta = make([]byte, hdr.metaLen)
 	if _, err := io.ReadFull(f, meta); err != nil || crc32.Checksum(meta, crcTable) != hdr.metaCRC {
-		f.Close()
+		_ = f.Close()
 		s.drop(key)
 		return nil, nil, 0, false
 	}
@@ -413,7 +414,7 @@ func (s *Results) Open(key string) (meta []byte, r io.ReadCloser, size int64, ok
 		// Already-corrupt gzip header: verifyReader may not have seen
 		// EOF yet, so drop explicitly.
 		s.drop(key)
-		f.Close()
+		_ = f.Close()
 		return nil, nil, 0, false
 	}
 	return meta, &gunzipReader{z: zr, vr: vr, bad: func() { s.drop(key) }}, hdr.rawLen, true
@@ -442,7 +443,7 @@ func (g *gunzipReader) Read(p []byte) (int, error) {
 }
 
 func (g *gunzipReader) Close() error {
-	g.z.Close()
+	_ = g.z.Close() // vr.Close carries the CRC verdict
 	return g.vr.Close()
 }
 

@@ -86,6 +86,7 @@ func (r *RunReport) Summary() string {
 // ranks. Sequence IDs must be unique and sequences non-empty. The result
 // rows come back in input order.
 func Align(seqs []Sequence, procs int, opts ...Option) (*Alignment, *RunReport, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return AlignContext(context.Background(), seqs, procs, opts...)
 }
 
@@ -135,6 +136,7 @@ type TCPRankConfig struct {
 // cluster: every rank calls AlignTCP with its local slice of sequences;
 // rank 0 receives the full alignment (others get nil).
 func AlignTCP(tcpCfg TCPRankConfig, local []Sequence, opts ...Option) (*Alignment, error) {
+	//lint:allow ctxflow context-free compat wrapper: delegates to the Context-bound variant
 	return AlignTCPContext(context.Background(), tcpCfg, local, opts...)
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# lint.sh — run the project-invariant analyzer suite (internal/lint) over
+# the whole module via `go vet -vettool`, exactly as CI does.
+#
+# Usage:
+#   scripts/lint.sh                 # whole module
+#   scripts/lint.sh ./internal/...  # any `go vet` package patterns
+#
+# The suite enforces (see TESTING.md for the full contract):
+#   ctxflow        library code threads contexts, never originates them
+#   determinism    no clocks/rand/map-order in the alignment pipeline
+#   pooldiscipline every dp workspace acquired is released on all paths
+#   durerr         store/serve never silently discard Sync/Close/Rename errors
+#
+# Findings are suppressed only by `//lint:allow <analyzer> <reason>` with a
+# written reason; reasonless directives are themselves findings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tool_dir=$(mktemp -d)
+trap 'rm -rf "$tool_dir"' EXIT
+
+go build -o "$tool_dir/samplealignlint" ./cmd/samplealignlint
+go vet -vettool="$tool_dir/samplealignlint" "${@:-./...}"
+echo "lint: clean"

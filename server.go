@@ -204,6 +204,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		if s.drainTimeout >= 0 {
 			s.Drain(s.drainTimeout)
 		}
+		//lint:allow ctxflow bounded graceful-shutdown timeout: the caller's ctx is already done here
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutCtx)
