@@ -22,12 +22,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	samplealign "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -42,7 +44,26 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	workerCtrl := flag.String("worker-ctrl", "", "serve cluster jobs: control listen address (see samplealignsrv -cluster)")
 	workerMesh := flag.String("worker-mesh", "", "worker mode: fixed rank mesh listen address (host:port reachable by the cluster)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines (default: text)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address — a separate listener (empty = disabled)")
 	flag.Parse()
+
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h).With("app", "samplealignd")
+
+	if *pprofAddr != "" {
+		bound, psrv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listen %s: %w", *pprofAddr, err))
+		}
+		defer psrv.Close()
+		logger.Info("pprof listening", "addr", bound)
+	}
 
 	if *workerCtrl != "" || *workerMesh != "" {
 		if *workerCtrl == "" || *workerMesh == "" {
@@ -53,9 +74,7 @@ func main() {
 		err := serve.RunWorker(ctx, serve.WorkerConfig{
 			CtrlAddr: *workerCtrl,
 			MeshAddr: *workerMesh,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "samplealignd: "+format+"\n", args...)
-			},
+			Logger:   logger,
 		})
 		if err != nil && ctx.Err() == nil {
 			fatal(err)
@@ -75,8 +94,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "samplealignd: rank %d/%d, %d local sequences, listening on %s\n",
-		*rank, len(addrs), len(local), addrs[*rank])
+	logger.Info("rank starting", "rank", *rank, "procs", len(addrs),
+		"local_seqs", len(local), "listen", addrs[*rank])
 
 	// SIGINT/SIGTERM (and an optional -timeout deadline) cancel the run:
 	// the rank unwinds its collectives, closes its peer connections and
@@ -99,7 +118,7 @@ func main() {
 		fatal(err)
 	}
 	if *rank != 0 {
-		fmt.Fprintf(os.Stderr, "samplealignd: rank %d done\n", *rank)
+		logger.Info("rank done", "rank", *rank)
 		return
 	}
 	if *out == "" {
@@ -111,8 +130,7 @@ func main() {
 	if err := samplealign.WriteFASTAFile(*out, aln.Seqs); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "samplealignd: wrote %d aligned sequences (width %d) to %s\n",
-		aln.NumSeqs(), aln.Width(), *out)
+	logger.Info("alignment written", "num_seqs", aln.NumSeqs(), "width", aln.Width(), "out", *out)
 }
 
 func splitNonEmpty(s string) []string {

@@ -13,6 +13,7 @@
 //	curl -s --data-binary @seqs.fa 'localhost:8080/v1/jobs?procs=4'   # → {"id":"j..."}
 //	curl -s localhost:8080/v1/jobs/<id>                               # status
 //	curl -s localhost:8080/v1/jobs/<id>/result                        # aligned FASTA
+//	curl -s localhost:8080/v1/jobs/<id>/trace                         # pipeline span tree
 //
 // Or synchronously (client disconnect cancels the job):
 //
@@ -32,12 +33,18 @@
 //	samplealignd -worker-ctrl :9002 -worker-mesh 127.0.0.1:9102 &
 //	samplealignsrv -addr :8080 -cluster 127.0.0.1:9001,127.0.0.1:9002 \
 //	               -cluster-self 127.0.0.1:9100
+//
+// Observability: logs are structured (text by default, -log-json for
+// JSON lines), every job carries a trace ID tying logs, the span tree
+// at /v1/jobs/{id}/trace and the per-stage histograms on /metrics
+// together, and -pprof-addr serves net/http/pprof on its own listener.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	samplealign "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -66,7 +74,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM/SIGINT waits for running jobs before hard-canceling (<0 skips draining)")
 	cluster := flag.String("cluster", "", "comma-separated worker control addresses (samplealignd -worker-ctrl); empty = in-process ranks")
 	clusterSelf := flag.String("cluster-self", "", "this server's rank-0 mesh listen address (required with -cluster)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines (default: text)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address — a separate listener, never the public API mux (empty = disabled)")
+	noTrace := flag.Bool("no-trace", false, "disable per-job span tracing (trace endpoint answers 404; output bytes are identical either way)")
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
 
 	cfg := samplealign.ServerConfig{
 		DefaultProcs:   *procs,
@@ -84,9 +97,8 @@ func main() {
 		StoreBytes:     *storeBytes,
 		DrainTimeout:   *drainTimeout,
 		ClusterSelf:    *clusterSelf,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "samplealignsrv: "+format+"\n", args...)
-		},
+		Logger:         logger,
+		NoTrace:        *noTrace,
 	}
 	for _, w := range strings.Split(*cluster, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -96,24 +108,48 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		// pprof runs on its own listener so the profiling endpoints are
+		// never reachable through the public API address.
+		bound, psrv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
+		}
+		defer psrv.Close()
+		logger.Info("pprof listening", "addr", bound)
+	}
 	srv, err := samplealign.NewServer(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "samplealignsrv:", err)
+		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	if rec := srv.Recovery(); rec.Enabled {
-		fmt.Fprintf(os.Stderr,
-			"samplealignsrv: recovery from %s: %d journal records, %d finished jobs restored, %d re-enqueued (%d interrupted by the previous shutdown; clean shutdown: %v)\n",
-			*dataDir, rec.JournalRecords, rec.Finished, rec.Requeued, rec.Interrupted, rec.CleanShutdown)
+		logger.Info("journal recovery complete", "data_dir", *dataDir,
+			"journal_records", rec.JournalRecords, "finished_restored", rec.Finished,
+			"requeued", rec.Requeued, "interrupted", rec.Interrupted,
+			"clean_shutdown", rec.CleanShutdown)
 	}
-	mode := "in-process ranks"
+	mode := "inproc"
 	if len(cfg.ClusterWorkers) > 0 {
-		mode = fmt.Sprintf("TCP cluster of %d workers", len(cfg.ClusterWorkers))
+		mode = fmt.Sprintf("cluster(%d workers)", len(cfg.ClusterWorkers))
 	}
-	fmt.Fprintf(os.Stderr, "samplealignsrv: listening on %s (%s, default p=%d, aligner %s)\n",
-		*addr, mode, *procs, *aligner)
+	logger.Info("listening", "addr", *addr, "executor", mode,
+		"default_procs", *procs, "default_aligner", *aligner, "tracing", !*noTrace)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
-		fmt.Fprintln(os.Stderr, "samplealignsrv:", err)
+		logger.Error("server failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger: text for humans by default, one
+// JSON object per line with -log-json for log shippers.
+func newLogger(jsonLines bool) *slog.Logger {
+	var h slog.Handler
+	if jsonLines {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("app", "samplealignsrv")
 }

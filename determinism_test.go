@@ -2,6 +2,7 @@ package samplealign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dpkern"
 	"repro/internal/engines"
 	"repro/internal/kmer"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -215,6 +217,57 @@ func TestCrossEngineBackendDeterminismMatrix(t *testing.T) {
 					t.Fatalf("%s tcp p=%d differs from inproc workers=1", eng, p)
 				}
 			})
+		})
+	}
+}
+
+// TestTracingDeterminismMatrix is the observability dimension of the
+// matrix: pipeline tracing is pure instrumentation, so running the
+// full pipeline with no tracer, a default tracer, an aggressively
+// sampled tracer and a span-starved tracer must all produce
+// byte-identical alignments. Span attributes carry counts and flags,
+// never timing-derived decisions — the determinism lint analyzer
+// enforces the read side (no obs.(*Span).Wall / obs.(*Tracer).Document
+// in determinism-critical packages); this test pins the end-to-end
+// byte contract.
+func TestTracingDeterminismMatrix(t *testing.T) {
+	seqs, err := GenerateDiverseSet(40, 70, 2031)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 3
+	for _, eng := range matrixEngines {
+		t.Run(eng, func(t *testing.T) {
+			ref, _, err := AlignContext(context.Background(), seqs, p, WithLocalAligner(eng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRows := renderRows(ref)
+			tracers := []struct {
+				name string
+				opts obs.Options
+			}{
+				{"default", obs.Options{}},
+				{"sample-everything", obs.Options{SampleDepth: 1 << 20}},
+				{"sample-nothing", obs.Options{SampleDepth: -1}},
+				{"span-starved", obs.Options{MaxSpans: 4}},
+			}
+			for _, tc := range tracers {
+				t.Run(tc.name, func(t *testing.T) {
+					tr := obs.New(tc.opts)
+					ctx := obs.WithTracer(context.Background(), tr)
+					aln, _, err := AlignContext(ctx, seqs, p, WithLocalAligner(eng))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(renderRows(aln), refRows) {
+						t.Fatalf("%s with tracer %s differs from untraced run", eng, tc.name)
+					}
+					if doc := tr.Document(); doc.SpanCount == 0 {
+						t.Fatalf("%s tracer %s recorded no spans — the dimension is vacuous", eng, tc.name)
+					}
+				})
+			}
 		})
 	}
 }

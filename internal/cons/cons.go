@@ -22,6 +22,7 @@ import (
 	"repro/internal/dpkern"
 	"repro/internal/kmer"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/pairwise"
 	"repro/internal/par"
 	"repro/internal/submat"
@@ -146,14 +147,28 @@ func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.A
 		}
 	}
 
+	// The pairwise library build doubles as the distance-matrix pass in
+	// this engine (it returns 1-identity distances for the guide tree),
+	// so the span carries both roles.
+	_, lsp := obs.Start(ctx, "library")
+	lsp.SetInt("n", int64(len(seqs)))
+	lsp.SetInt("workers", int64(a.opts.Workers))
+	lsp.SetBool("extend", a.opts.Extend)
 	lib, dist := a.buildLibrary(clean)
 	if err := ctx.Err(); err != nil {
+		lsp.End()
 		return nil, err
 	}
 	if a.opts.Extend {
 		lib = a.extendLibrary(lib, clean)
 	}
+	lsp.End()
+	_, gsp := obs.Start(ctx, "guidetree")
+	gsp.SetStr("method", "nj")
+	gsp.SetInt("n", int64(len(seqs)))
+	gsp.SetInt("workers", int64(a.opts.Workers))
 	gt := tree.NeighborJoiningWorkers(dist, bio.IDs(seqs), a.opts.Workers)
+	gsp.End()
 	rows, ids, err := a.progressive(ctx, clean, gt, lib)
 	if err != nil {
 		return nil, err
@@ -325,6 +340,10 @@ type group struct {
 // on Workers workers against the read-only library; output is
 // byte-identical for every Workers value.
 func (a *Aligner) progressive(ctx context.Context, seqs [][]byte, gt *tree.Node, lib *library) ([][]byte, []int, error) {
+	ctx, psp := obs.Start(ctx, "progressive")
+	defer psp.End()
+	psp.SetInt("n", int64(len(seqs)))
+	psp.SetInt("workers", int64(a.opts.Workers))
 	leaf := func(n *tree.Node) (*group, error) {
 		if n.ID < 0 || n.ID >= len(seqs) {
 			return nil, fmt.Errorf("cons: leaf id %d out of range", n.ID)
@@ -336,7 +355,11 @@ func (a *Aligner) progressive(ctx context.Context, seqs [][]byte, gt *tree.Node,
 		}
 		return &group{ids: []int{n.ID}, rows: [][]byte{row}, ords: [][]int32{ords}}, nil
 	}
-	merge := func(l, r *group) (*group, error) {
+	merge := func(mi tree.Merge, l, r *group) (*group, error) {
+		_, msp := obs.StartDepth(ctx, "mergenode", mi.Depth)
+		defer msp.End()
+		msp.SetInt("depth", int64(mi.Depth))
+		msp.SetInt("rows", int64(len(l.ids)+len(r.ids)))
 		return a.mergeGroups(l, r, lib), nil
 	}
 	g, err := tree.ParallelReduce(ctx, gt, a.opts.Workers, leaf, merge)

@@ -8,9 +8,11 @@ import (
 	"sort"
 
 	"repro/internal/bio"
+	"repro/internal/dpkern"
 	"repro/internal/kmer"
 	"repro/internal/mpi"
 	"repro/internal/msa"
+	"repro/internal/obs"
 )
 
 // Align runs Sample-Align-D as an SPMD program: every rank calls it with
@@ -60,6 +62,23 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	stats := &Stats{Rank: c.Rank()}
 	tStart := startClock()
 
+	// Per-rank span: the root of this rank's slice of the trace. The
+	// deferred close stamps the communicator's traffic counters on it,
+	// so each rank's send/recv bytes are readable straight off the tree.
+	ctx, rankSpan := obs.Start(ctx, "rank")
+	if rankSpan != nil {
+		rankSpan.SetInt("rank", int64(c.Rank()))
+		rankSpan.SetInt("procs", int64(c.Size()))
+		defer func() {
+			sn := c.Stats().Snapshot()
+			rankSpan.SetInt("bytes_sent", sn.BytesSent)
+			rankSpan.SetInt("bytes_recv", sn.BytesRecv)
+			rankSpan.SetInt("msgs_sent", sn.MsgsSent)
+			rankSpan.SetInt("msgs_recv", sn.MsgsRecv)
+			rankSpan.End()
+		}()
+	}
+
 	counter, err := kmer.NewCounter(cfg.Compress, cfg.K)
 	if err != nil {
 		return nil, nil, err
@@ -91,16 +110,22 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	if p == 1 {
 		bucket = seqs
 	} else {
-		bucket, err = redistribute(ctx, c, counter, seqs, cfg, stats)
+		dctx, dsp := obs.Start(ctx, "decompose")
+		bucket, err = redistribute(dctx, c, counter, seqs, cfg, stats)
 		if err != nil {
+			dsp.End()
 			return nil, nil, ctxErr(ctx, err)
 		}
+		dsp.SetInt("bucket", int64(len(bucket)))
+		dsp.End()
 	}
 	stats.BucketSize = len(bucket)
 
 	// ------- local alignment of the bucket (paper step: "align sequences
 	// in each processor using any sequential multiple alignment system")
 	tPhase := startClock()
+	bctx, bsp := obs.Start(ctx, "bucketalign")
+	tally0 := dpkern.TallySnapshot()
 	localAligner := cfg.NewLocalAligner(cfg.Workers)
 	if kc, ok := localAligner.(msa.KernelConfigurable); ok {
 		kc.SetKernel(cfg.Kernel)
@@ -109,13 +134,27 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	for i, ws := range bucket {
 		bucketSeqs[i] = bio.Sequence{ID: ws.ID, Desc: ws.Desc, Data: ws.Data}
 	}
-	localAln, err := msa.AlignWithContext(ctx, localAligner, bucketSeqs)
+	localAln, err := msa.AlignWithContext(bctx, localAligner, bucketSeqs)
 	if err != nil {
+		bsp.End()
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, cerr
 		}
 		return nil, nil, fmt.Errorf("core: rank %d local alignment: %w", c.Rank(), err)
 	}
+	if bsp != nil {
+		// Striped-vs-escape deltas come from process-wide counters, so
+		// concurrent jobs in one server overlap in them; within a single
+		// run they attribute kernel dispatch to this bucket alignment.
+		d := dpkern.TallySnapshot().Sub(tally0)
+		bsp.SetInt("seqs", int64(len(bucketSeqs)))
+		bsp.SetInt("workers", int64(cfg.Workers))
+		bsp.SetStr("aligner", localAligner.Name())
+		bsp.SetStr("kernel", cfg.Kernel.String())
+		bsp.SetInt("striped_calls", d.Striped)
+		bsp.SetInt("escape_calls", d.Escaped)
+	}
+	bsp.End()
 	stats.Timings.LocalAlign = tPhase.elapsed()
 
 	if p == 1 {
@@ -125,8 +164,12 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 		return localAln, stats, nil
 	}
 
+	// ------- merge stage: ancestor, fine-tune, glue
+	mctx, msp := obs.Start(ctx, "merge")
+
 	// ------- ancestor phases
 	tPhase = startClock()
+	actx, asp := obs.Start(mctx, "ancestor")
 	var localAnc []byte
 	if localAln.NumSeqs() > 0 {
 		localAnc, err = localAln.Consensus(cfg.Sub.Alphabet(), cfg.AncestorOcc)
@@ -140,7 +183,7 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	}
 	var ga []byte
 	if c.Rank() == 0 {
-		ga, err = globalAncestor(ctx, ancestors, localAligner, cfg)
+		ga, err = globalAncestor(actx, ancestors, localAligner, cfg)
 		if err != nil {
 			return nil, nil, ctxErr(ctx, err)
 		}
@@ -149,10 +192,13 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 		return nil, nil, ctxErr(ctx, err)
 	}
 	stats.GALen = len(ga)
+	asp.SetInt("ga_len", int64(len(ga)))
+	asp.End()
 	stats.Timings.Ancestor = tPhase.elapsed()
 
 	// ------- fine-tune against the GA template and glue at the root
 	tPhase = startClock()
+	_, fsp := obs.Start(mctx, "finetune")
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -160,13 +206,19 @@ func alignTagged(ctx context.Context, c mpi.Comm, local []bio.Sequence, origs []
 	if err != nil {
 		return nil, nil, err
 	}
+	fsp.End()
 	stats.Timings.FineTune = tPhase.elapsed()
 
 	tPhase = startClock()
+	_, gsp := obs.Start(mctx, "glue")
 	final, err := glue(c, localAln, bucket, path, len(ga), cfg)
 	if err != nil {
+		gsp.End()
+		msp.End()
 		return nil, nil, ctxErr(ctx, err)
 	}
+	gsp.End()
+	msp.End()
 	stats.Timings.Glue = tPhase.elapsed()
 	stats.Timings.Total = tStart.elapsed()
 	stats.Comm = c.Stats().Snapshot()
@@ -222,6 +274,7 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 
 	// --- phase 1: local rank + local sort
 	tPhase := startClock()
+	_, sp1 := obs.Start(ctx, "localrank")
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -238,10 +291,12 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	}
 	sortByRank(seqs)
 	sortProfilesLike(profiles, seqs, counter)
+	sp1.End()
 	stats.Timings.LocalRank = tPhase.elapsed()
 
 	// --- phase 2: sample exchange + globalised rank
 	tPhase = startClock()
+	_, sp2 := obs.Start(ctx, "sample")
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -272,10 +327,13 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 		seqs[i].Rank = globalRanks[i]
 	}
 	sortByRank(seqs)
+	sp2.SetInt("pool", int64(len(samplePool)))
+	sp2.End()
 	stats.Timings.Sampling = tPhase.elapsed()
 
 	// --- phase 3: regular sampling of p-1 rank keys, pivot selection
 	tPhase = startClock()
+	_, sp3 := obs.Start(ctx, "pivot")
 	sampleKeys := regularRankSample(seqs, p-1)
 	gathered, err := mpi.GatherValues(c, 0, tagPivotGather, sampleKeys)
 	if err != nil {
@@ -292,10 +350,12 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 	if err := mpi.BcastValue(c, 0, tagPivots, pivots, &pivots); err != nil {
 		return nil, err
 	}
+	sp3.End()
 	stats.Timings.Pivoting = tPhase.elapsed()
 
 	// --- phase 4: bucket partition + all-to-all exchange
 	tPhase = startClock()
+	_, sp4 := obs.Start(ctx, "exchange")
 	parts := make([][]wireSeq, p)
 	for _, ws := range seqs {
 		key := pivotKey{Rank: ws.Rank, Orig: ws.Orig}
@@ -311,6 +371,7 @@ func redistribute(ctx context.Context, c mpi.Comm, counter *kmer.Counter, seqs [
 		bucket = append(bucket, part...)
 	}
 	sortByRank(bucket)
+	sp4.End()
 	stats.Timings.Redistrib = tPhase.elapsed()
 
 	// root records all bucket sizes for the load-balance analysis

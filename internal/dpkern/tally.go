@@ -1,0 +1,42 @@
+package dpkern
+
+import "sync/atomic"
+
+// Process-wide kernel-dispatch tally: how many DP alignments ran the
+// striped int16 kernel vs. escaped to the scalar float64 path because
+// the exactness bounds (or the unit-leaf precondition) failed. The
+// tracer samples deltas around each bucket alignment, turning the tally
+// into per-span striped/escape counts. An explicit Scalar kernel
+// request counts as neither — only Auto/Striped dispatches are tallied.
+//
+// The counters are observational only; nothing in alignment control
+// flow reads them, so they cannot perturb the byte-identical
+// determinism contract. Note they are process-wide: concurrent jobs in
+// one server overlap in the deltas.
+var (
+	stripedCalls atomic.Int64
+	escapeCalls  atomic.Int64
+)
+
+// NoteStriped records one DP alignment dispatched to the striped kernel.
+func NoteStriped() { stripedCalls.Add(1) }
+
+// NoteEscape records one DP alignment that wanted the striped kernel
+// but fell back to the scalar path.
+func NoteEscape() { escapeCalls.Add(1) }
+
+// Tally is a snapshot of the kernel-dispatch counters.
+type Tally struct {
+	Striped int64
+	Escaped int64
+}
+
+// TallySnapshot returns the current process-wide dispatch counts.
+func TallySnapshot() Tally {
+	return Tally{Striped: stripedCalls.Load(), Escaped: escapeCalls.Load()}
+}
+
+// Sub returns the delta t - t0, for bracketing a pipeline phase.
+func (t Tally) Sub(t0 Tally) Tally {
+	return Tally{Striped: t.Striped - t0.Striped, Escaped: t.Escaped - t0.Escaped}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/bio"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -237,6 +238,11 @@ func DistanceMatrix(profiles []Profile, workers int) *Matrix {
 // O(N²) pass dominates guide-tree construction on large inputs, so it
 // stops dispatching tiles on cancellation.
 func DistanceMatrixContext(ctx context.Context, profiles []Profile, workers int) (*Matrix, error) {
+	ctx, sp := obs.Start(ctx, "distmatrix")
+	defer sp.End()
+	sp.SetStr("method", "kmer")
+	sp.SetInt("n", int64(len(profiles)))
+	sp.SetInt("workers", int64(workers))
 	return DistanceMatrixTiled(ctx, profiles, workers, 0)
 }
 

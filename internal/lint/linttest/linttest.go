@@ -4,7 +4,7 @@
 // library. Fixture packages live under internal/lint/testdata/src/<name>
 // and are type-checked against real compiled export data obtained from
 // one `go list -export` run, so fixtures may import the standard
-// library and repro/internal/dp.
+// library and a few repro/internal packages (dp, obs).
 package linttest
 
 import (
@@ -34,6 +34,7 @@ var fixtureImports = []string{
 	"bytes", "context", "fmt", "io", "math/rand", "os", "sort",
 	"strings", "sync", "time",
 	"repro/internal/dp",
+	"repro/internal/obs",
 }
 
 var (

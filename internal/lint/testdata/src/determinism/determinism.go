@@ -4,11 +4,14 @@ package determinism
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand" // want `imports math/rand`
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func clock() int64 {
@@ -128,4 +131,23 @@ func allowedClock() int64 {
 	//lint:allow determinism fixture: timing for a progress report, never reaches alignment bytes
 	t := time.Now()
 	return t.UnixNano()
+}
+
+func spanWall(sp *obs.Span) time.Duration {
+	return sp.Wall() // want `reads a span timing via obs\.\(\*Span\)\.Wall`
+}
+
+func traceDoc(tr *obs.Tracer) *obs.Document {
+	return tr.Document() // want `reads trace timings via obs\.\(\*Tracer\)\.Document`
+}
+
+func spanWrites(ctx context.Context, depth int) {
+	// Emitting spans is write-only instrumentation: Start, the attribute
+	// setters and End never hand timing values back to the caller.
+	ctx, sp := obs.Start(ctx, "phase")
+	sp.SetInt("n", 1)
+	sp.End()
+	_, dsp := obs.StartDepth(ctx, "deep", depth)
+	dsp.SetBool("sampled", true)
+	dsp.End()
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/kmer"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/submat"
 	"repro/internal/tree"
@@ -117,7 +118,12 @@ func (a *Aligner) AlignContext(ctx context.Context, seqs []bio.Sequence) (*msa.A
 	if err != nil {
 		return nil, err
 	}
+	_, gsp := obs.Start(ctx, "guidetree")
+	gsp.SetStr("method", "upgma")
+	gsp.SetInt("n", int64(len(seqs)))
+	gsp.SetInt("workers", int64(a.opts.Workers))
 	gt := tree.UPGMAWorkers(dist, bio.IDs(seqs), a.opts.Workers)
+	gsp.End()
 
 	aln, err := a.alignWithTree(ctx, seqs, gt)
 	if err != nil {
@@ -146,6 +152,11 @@ type group struct {
 // schedule (tree.ParallelReduce): disjoint subtrees merge concurrently
 // on Workers workers; output is byte-identical for every Workers value.
 func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tree.Node) (*msa.Alignment, error) {
+	ctx, psp := obs.Start(ctx, "progressive")
+	defer psp.End()
+	psp.SetInt("n", int64(len(seqs)))
+	psp.SetInt("workers", int64(a.opts.Workers))
+	psp.SetBool("fft", a.opts.UseFFT)
 	alpha := a.opts.Sub.Alphabet()
 	palign := profile.NewAligner(a.opts.Sub, a.opts.Gap)
 	palign.Kernel = a.opts.Kernel
@@ -156,7 +167,11 @@ func (a *Aligner) alignWithTree(ctx context.Context, seqs []bio.Sequence, gt *tr
 		}
 		return &group{rows: [][]byte{bio.Ungap(seqs[n.ID].Data)}, ids: []int{n.ID}}, nil
 	}
-	merge := func(left, right *group) (*group, error) {
+	merge := func(mi tree.Merge, left, right *group) (*group, error) {
+		_, msp := obs.StartDepth(ctx, "mergenode", mi.Depth)
+		defer msp.End()
+		msp.SetInt("depth", int64(mi.Depth))
+		msp.SetInt("rows", int64(len(left.ids)+len(right.ids)))
 		pl, err := profile.FromRows(alpha, left.rows, nil)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/dpkern"
 	"repro/internal/kmer"
+	"repro/internal/obs"
 	"repro/internal/pairwise"
 	"repro/internal/par"
 	"repro/internal/profile"
@@ -183,6 +184,11 @@ func (p *Progressive) DistanceMatrixContext(ctx context.Context, seqs []bio.Sequ
 		// pooled DP workspace for all of its alignments, and the identity
 		// is counted directly off the traceback plane
 		// (GlobalIdentityInto) without materializing aligned rows.
+		ctx, sp := obs.Start(ctx, "distmatrix")
+		defer sp.End()
+		sp.SetStr("method", "pid")
+		sp.SetInt("n", int64(len(seqs)))
+		sp.SetInt("workers", int64(p.opts.Workers))
 		n := len(seqs)
 		m := kmer.NewMatrix(n)
 		al := pairwise.Aligner{Sub: p.opts.Sub, Gap: p.opts.Gap, Kernel: p.opts.Kernel}
@@ -248,7 +254,16 @@ func (p *Progressive) AlignContext(ctx context.Context, seqs []bio.Sequence) (*A
 	if err != nil {
 		return nil, err
 	}
+	_, gsp := obs.Start(ctx, "guidetree")
+	if p.opts.Tree == NJTree {
+		gsp.SetStr("method", "nj")
+	} else {
+		gsp.SetStr("method", "upgma")
+	}
+	gsp.SetInt("n", int64(len(seqs)))
+	gsp.SetInt("workers", int64(p.opts.Workers))
 	gt := p.GuideTree(d, seqs)
+	gsp.End()
 	var weights []float64
 	if p.opts.Weighting {
 		weights = TreeWeights(gt, len(seqs))
@@ -286,6 +301,10 @@ func (p *Progressive) AlignWithTree(seqs []bio.Sequence, gt *tree.Node, weights 
 // Output is byte-identical for every Workers value — a node's merge
 // depends only on its children, never on execution order.
 func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Sequence, gt *tree.Node, weights []float64) (*Alignment, error) {
+	ctx, psp := obs.Start(ctx, "progressive")
+	defer psp.End()
+	psp.SetInt("n", int64(len(seqs)))
+	psp.SetInt("workers", int64(p.opts.Workers))
 	alpha := p.opts.Sub.Alphabet()
 	palign := profile.NewAligner(p.opts.Sub, p.opts.Gap)
 	palign.Kernel = p.opts.Kernel
@@ -304,7 +323,11 @@ func (p *Progressive) AlignWithTreeContext(ctx context.Context, seqs []bio.Seque
 		data := bio.Ungap(seqs[n.ID].Data)
 		return &group{rows: [][]byte{data}, ids: []int{n.ID}}, nil
 	}
-	merge := func(left, right *group) (*group, error) {
+	merge := func(mi tree.Merge, left, right *group) (*group, error) {
+		_, msp := obs.StartDepth(ctx, "mergenode", mi.Depth)
+		defer msp.End()
+		msp.SetInt("depth", int64(mi.Depth))
+		msp.SetInt("rows", int64(len(left.ids)+len(right.ids)))
 		wl := make([]float64, len(left.ids))
 		for i, id := range left.ids {
 			wl[i] = weightOf(id)

@@ -1,0 +1,16 @@
+package obs
+
+import "time"
+
+// This file holds the obs package's only wall-clock access — the second
+// audited clock in the repo, next to internal/core/clock.go. Trace
+// timings are observational: they flow out to the trace document and
+// per-stage histograms, never back into alignment bytes (the
+// determinism lint analyzer flags any pipeline package that reads span
+// timings).
+
+// now is the tracer epoch clock.
+func now() time.Time { return time.Now() }
+
+// sinceNs returns monotonic nanoseconds elapsed since t0.
+func sinceNs(t0 time.Time) int64 { return int64(time.Since(t0)) }

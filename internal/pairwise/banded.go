@@ -2,6 +2,7 @@ package pairwise
 
 import (
 	"repro/internal/dp"
+	"repro/internal/dpkern"
 )
 
 // bandBounds converts a half-width band request into the clamped
@@ -42,9 +43,13 @@ func (al Aligner) GlobalBanded(a, b []byte, band int) Result {
 	var state byte
 	var score float64
 	if t := al.kernelTable(); t.FitsBanded(n, m) {
+		dpkern.NoteStriped()
 		w.ReserveInt(n+1, m+1)
 		state, score = t.Banded(w, t.MapRows(w, a), t.MapRows(w, b), lo, hi)
 	} else {
+		if al.Kernel != dpkern.Scalar {
+			dpkern.NoteEscape()
+		}
 		w.Reserve(n+1, m+1)
 		state, score = al.globalBandedScalar(w, a, b, lo, hi)
 	}

@@ -83,10 +83,14 @@ func (al Aligner) kernelTable() *dpkern.Table {
 func (al Aligner) globalInto(w *dp.Workspace, a, b []byte) (byte, float64) {
 	n, m := len(a), len(b)
 	if t := al.kernelTable(); t.Fits(n, m) {
+		dpkern.NoteStriped()
 		w.ReserveInt(n+1, m+1)
 		ra := t.MapRows(w, a)
 		rb := t.MapRows(w, b)
 		return t.Global(w, ra, rb)
+	}
+	if al.Kernel != dpkern.Scalar {
+		dpkern.NoteEscape()
 	}
 	open, ext := al.Gap.Open, al.Gap.Extend
 

@@ -71,14 +71,18 @@ func (al *Aligner) alignStriped(a, b *Profile, banded bool, lo, hi int) (Path, f
 	n, m := a.Len(), b.Len()
 	if banded {
 		if !t.FitsBanded(n, m) {
+			dpkern.NoteEscape()
 			return nil, 0, false
 		}
 	} else if !t.Fits(n, m) {
+		dpkern.NoteEscape()
 		return nil, 0, false
 	}
 	if !isUnitLeaf(a) || !isUnitLeaf(b) {
+		dpkern.NoteEscape()
 		return nil, 0, false
 	}
+	dpkern.NoteStriped()
 	w := dp.GetInt(n+1, m+1)
 	defer dp.Put(w)
 	ra, rb := leafRows(w, a), leafRows(w, b)

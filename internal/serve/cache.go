@@ -17,9 +17,14 @@ type Result struct {
 	Elapsed   time.Duration `json:"-"`
 	BytesSent int64         `json:"bytes_sent"`
 	BytesRecv int64         `json:"bytes_recv"`
+	TraceID   string        `json:"trace_id,omitempty"`
+	Trace     []byte        `json:"-"` // span-tree JSON (obs.Document); served at /v1/jobs/{id}/trace
 }
 
-// sizeBytes is the accounting size of a result in the cache.
+// sizeBytes is the accounting size of a result in the cache. Traces are
+// deliberately excluded: they are bounded by obs.DefaultMaxSpans and
+// tiny next to alignments, and counting them would perturb the cache's
+// deterministic hit/evict sequence between tracing-on and -off runs.
 func (r *Result) sizeBytes() int64 { return int64(len(r.FASTA)) }
 
 // Cache is a content-addressed LRU of alignment results, bounded by

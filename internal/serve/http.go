@@ -34,6 +34,7 @@ type SubmitRequest struct {
 //	POST   /v1/jobs             submit (async) → 202 + job status JSON
 //	GET    /v1/jobs/{id}        status JSON
 //	GET    /v1/jobs/{id}/result aligned FASTA
+//	GET    /v1/jobs/{id}/trace  span-tree JSON of the finished pipeline run
 //	DELETE /v1/jobs/{id}        cancel
 //	POST   /v1/align            submit + wait (sync) → aligned FASTA;
 //	                            client disconnect cancels the job
@@ -44,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/align", s.handleAlignSync)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -315,6 +317,68 @@ func (s *Server) streamResult(w http.ResponseWriter, job *Job) bool {
 	}
 	s.metrics.Streamed.Inc()
 	return true
+}
+
+// lookupTrace finds a done job's span tree: the job record first, then
+// the memory cache's full result, then the on-disk trace store.
+func (s *Server) lookupTrace(job *Job, res *Result) ([]byte, bool) {
+	if res != nil && len(res.Trace) > 0 {
+		return res.Trace, true
+	}
+	if cres, ok := s.cache.Get(job.Key); ok && len(cres.Trace) > 0 {
+		return cres.Trace, true
+	}
+	if s.traces != nil {
+		if _, payload, ok := s.traces.Get(job.Key); ok {
+			return payload, true
+		}
+	}
+	return nil, false
+}
+
+// handleTrace serves a finished job's span tree as indented JSON.
+// Unknown job → 404; not yet terminal → 409; finished without a trace
+// (tracing disabled, or a failed/canceled run) → 404; trace recorded
+// but since evicted from every tier → 410.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, state, err := job.resultIfDone()
+	switch state {
+	case StateDone:
+		doc, ok := s.lookupTrace(job, res)
+		if !ok {
+			// The trace ID outlives the trace itself: it still keys log
+			// lines even when tracing is off, so distinguish "never
+			// recorded" from "recorded but evicted" via cfg, not the ID.
+			if s.cfg.NoTrace || job.Trace == "" {
+				writeError(w, http.StatusNotFound, "no trace recorded for this job (tracing disabled)")
+			} else {
+				writeError(w, http.StatusGone, "trace evicted; resubmit the job")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if json.Indent(&buf, doc, "", "  ") != nil {
+			buf = *bytes.NewBuffer(doc) // serve verbatim if it will not re-indent
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Job-Id", job.ID)
+		if job.Trace != "" {
+			w.Header().Set("X-Trace-Id", job.Trace)
+		}
+		w.Write(buf.Bytes())
+	case StateFailed:
+		writeError(w, http.StatusNotFound, "job failed; no trace: %v", err)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled: %v", err)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job is %s; trace is available once done", state)
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

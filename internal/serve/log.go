@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// resolveLogger picks the server's structured logger: an explicit
+// Config.Logger wins, a legacy printf-style Config.Logf is adapted so
+// existing consumers keep receiving messages, and with neither the
+// server is silent.
+func resolveLogger(logger *slog.Logger, logf func(format string, args ...any)) *slog.Logger {
+	if logger != nil {
+		return logger
+	}
+	if logf != nil {
+		return slog.New(logfHandler{logf: logf})
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// logfHandler adapts a printf-style sink to slog: each record renders
+// as "LEVEL msg key=value ..." through the single format verb the old
+// Logf contract had. It keeps pre-slog callers (tests passing t.Logf,
+// cmds passing log.Printf) working unchanged.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+	group string
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	writeAttr := func(a slog.Attr) {
+		key := a.Key
+		if h.group != "" {
+			key = h.group + "." + key
+		}
+		fmt.Fprintf(&b, " %s=%v", key, a.Value)
+	}
+	for _, a := range h.attrs {
+		writeAttr(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(h.attrs[:len(h.attrs):len(h.attrs)], attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(name string) slog.Handler {
+	if h.group != "" {
+		name = h.group + "." + name
+	}
+	h.group = name
+	return h
+}

@@ -24,8 +24,12 @@ type Metrics struct {
 	Interrupted stats.Counter // jobs hard-canceled by shutdown (journaled for requeue at next boot)
 	Draining    stats.Gauge   // 1 while the server refuses new submissions to drain
 
-	QueueWait  *stats.LatencyHistogram // seconds from submit to execution start
-	RunSeconds *stats.LatencyHistogram // execution wall-clock
+	CommSent stats.Counter // MPI payload bytes sent across all finished jobs
+	CommRecv stats.Counter // MPI payload bytes received across all finished jobs
+
+	QueueWait  *stats.LatencyHistogram  // seconds from submit to execution start
+	RunSeconds *stats.LatencyHistogram  // execution wall-clock
+	Stages     *stats.LabeledHistograms // per-pipeline-stage wall-clock, fed by trace spans
 }
 
 // NewMetrics builds the metric set with the default latency bounds.
@@ -33,6 +37,27 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		QueueWait:  stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
 		RunSeconds: stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
+		Stages:     stats.MustLabeledHistograms(stats.DefaultLatencyBounds()),
+	}
+}
+
+// pipelineStages is the canonical stage-name set fed into the Stages
+// histogram family: only spans with these names become label values, so
+// metric cardinality stays bounded no matter what the tracer records.
+var pipelineStages = map[string]bool{
+	"distmatrix":  true, // pairwise distance matrix (k-mer tiled or PID)
+	"guidetree":   true, // UPGMA / neighbor-joining construction
+	"decompose":   true, // sampling, pivot selection, all-to-all exchange
+	"bucketalign": true, // local MSA of one rank's bucket
+	"merge":       true, // ancestor alignment, fine-tune, glue
+}
+
+// ObserveStage feeds one finished span into the per-stage histograms if
+// its name is a canonical pipeline stage. Shaped to plug directly into
+// obs.Options.OnSpanEnd.
+func (m *Metrics) ObserveStage(name string, seconds float64) {
+	if pipelineStages[name] {
+		m.Stages.Observe(name, seconds)
 	}
 }
 
@@ -73,6 +98,8 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 	counter("samplealign_cache_evictions_total", "Results evicted from the in-memory cache.", evictions)
 	counter("samplealign_store_hits_total", "Cache hits served by the on-disk result store.", m.StoreHits.Value())
 	counter("samplealign_results_streamed_total", "Results streamed to clients from the on-disk store.", m.Streamed.Value())
+	counter("samplealign_comm_sent_bytes_total", "MPI payload bytes sent across all finished jobs.", m.CommSent.Value())
+	counter("samplealign_comm_recv_bytes_total", "MPI payload bytes received across all finished jobs.", m.CommRecv.Value())
 	gauge("samplealign_queue_depth", "Flights admitted and waiting.", int64(q.Queued))
 	gauge("samplealign_jobs_running", "Flights currently executing.", int64(q.Active))
 	gauge("samplealign_draining", "1 while the server refuses new submissions to drain.", m.Draining.Value())
@@ -85,8 +112,12 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 		gauge("samplealign_journal_records", "Records in the write-ahead journal.", persist.JournalRecords)
 		gauge("samplealign_journal_bytes", "Size of the write-ahead journal.", persist.JournalBytes)
 	}
-	m.QueueWait.Snapshot().WritePrometheus(&b, "samplealign_job_queue_wait_seconds")
-	m.RunSeconds.Snapshot().WritePrometheus(&b, "samplealign_job_run_seconds")
+	m.QueueWait.Snapshot().WritePrometheus(&b, "samplealign_job_queue_wait_seconds",
+		"Seconds from submit to execution start.")
+	m.RunSeconds.Snapshot().WritePrometheus(&b, "samplealign_job_run_seconds",
+		"Execution wall-clock seconds per job.")
+	m.Stages.WritePrometheus(&b, "samplealign_stage_seconds",
+		"Wall-clock seconds per pipeline stage, one observation per traced span.", "stage")
 	return b.String()
 }
 

@@ -53,12 +53,13 @@ type finishData struct {
 // resultMeta is the result summary persisted in finish records and as
 // the meta block of on-disk result files.
 type resultMeta struct {
-	NumSeqs   int   `json:"num_seqs"`
-	Width     int   `json:"width"`
-	Procs     int   `json:"procs"`
-	BytesSent int64 `json:"bytes_sent"`
-	BytesRecv int64 `json:"bytes_recv"`
-	ElapsedNs int64 `json:"elapsed_ns"`
+	NumSeqs   int    `json:"num_seqs"`
+	Width     int    `json:"width"`
+	Procs     int    `json:"procs"`
+	BytesSent int64  `json:"bytes_sent"`
+	BytesRecv int64  `json:"bytes_recv"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
 func metaOf(res *Result) *resultMeta {
@@ -72,6 +73,7 @@ func metaOf(res *Result) *resultMeta {
 		BytesSent: res.BytesSent,
 		BytesRecv: res.BytesRecv,
 		ElapsedNs: int64(res.Elapsed),
+		TraceID:   res.TraceID,
 	}
 }
 
@@ -84,6 +86,7 @@ func (m *resultMeta) result(payload []byte) *Result {
 		BytesSent: m.BytesSent,
 		BytesRecv: m.BytesRecv,
 		Elapsed:   time.Duration(m.ElapsedNs),
+		TraceID:   m.TraceID,
 	}
 }
 
@@ -132,6 +135,15 @@ func (s *Server) openPersistence() error {
 			s.unlockDir = nil
 			return fmt.Errorf("serve: opening result store: %w", err)
 		}
+		// Traces live beside results under the same bounds: a trace is
+		// only useful while its result is still addressable, and both
+		// stores evict independently by their own LRU.
+		s.traces, err = store.OpenResults(filepath.Join(dir, "traces"), s.cfg.StoreEntries, maxBytes)
+		if err != nil {
+			s.unlockDir()
+			s.unlockDir = nil
+			return fmt.Errorf("serve: opening trace store: %w", err)
+		}
 	}
 	journal, recs, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
 	if err != nil {
@@ -152,7 +164,7 @@ func (s *Server) journalAppend(rec store.Record) {
 		return
 	}
 	if err := s.journal.Append(rec); err != nil {
-		s.logf("serve: journal append (%s %s): %v", rec.Type, rec.Job, err)
+		s.log.Warn("journal append failed", "type", string(rec.Type), "job", rec.Job, "err", err)
 	}
 }
 
@@ -240,7 +252,19 @@ func (s *Server) storePut(key string, res *Result) {
 	}
 	meta, _ := json.Marshal(metaOf(res))
 	if err := s.results.Put(key, meta, res.FASTA); err != nil {
-		s.logf("serve: persisting result %s: %v", key, err)
+		s.log.Warn("persisting result failed", "key", key, "err", err)
+	}
+}
+
+// storePutTrace persists a finished job's span tree beside its result,
+// so traces survive restarts and cache evictions of the memory tier.
+func (s *Server) storePutTrace(key string, res *Result) {
+	if s.traces == nil || len(res.Trace) == 0 {
+		return
+	}
+	meta, _ := json.Marshal(resultMeta{TraceID: res.TraceID})
+	if err := s.traces.Put(key, meta, res.Trace); err != nil {
+		s.log.Warn("persisting trace failed", "key", key, "trace", res.TraceID, "err", err)
 	}
 }
 
@@ -283,7 +307,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 		case store.RecSubmit:
 			var sd submitData
 			if err := json.Unmarshal(rec.Data, &sd); err != nil {
-				s.logf("serve: recovery: submit record for %s unreadable: %v", rec.Job, err)
+				s.log.Warn("recovery: submit record unreadable", "job", rec.Job, "err", err)
 				continue
 			}
 			r := entry(rec)
@@ -297,7 +321,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 		case store.RecFinish, store.RecCancel:
 			var fd finishData
 			if err := json.Unmarshal(rec.Data, &fd); err != nil {
-				s.logf("serve: recovery: finish record for %s unreadable: %v", rec.Job, err)
+				s.log.Warn("recovery: finish record unreadable", "job", rec.Job, "err", err)
 				continue
 			}
 			r := entry(rec)
@@ -326,7 +350,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			// A terminal or interrupt record whose submit half was torn
 			// away by a crash (or whose submit JSON was unreadable):
 			// nothing to restore or re-run.
-			s.logf("serve: recovery: job %s has no submit record; dropped", r.id)
+			s.log.Warn("recovery: job has no submit record; dropped", "job", r.id)
 			continue
 		}
 		job := &Job{
@@ -346,6 +370,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			job.finished = finished
 			if summary != nil {
 				job.result = summary.result(nil)
+				job.Trace = summary.TraceID
 			}
 			if errMsg != "" {
 				job.err = errors.New(errMsg)
@@ -374,7 +399,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 				// from the cache; resurrecting this as "failed" would
 				// contradict what they saw, so drop it (and let
 				// compaction shed it via the terminal-untracked path).
-				s.logf("serve: recovery: job %s has no journaled input; dropped", r.id)
+				s.log.Warn("recovery: job has no journaled input; dropped", "job", r.id)
 				r.state = StateCanceled
 				continue
 			}
@@ -389,13 +414,14 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			fl := flightByKey[r.key]
 			if fl == nil {
 				fctx, fcancel := context.WithCancelCause(s.baseCtx)
-				fl = &flight{key: r.key, seqs: seqs, opts: r.sub.Opts, ctx: fctx, cancel: fcancel, state: StateQueued}
+				fl = &flight{key: r.key, trace: newTraceID(), seqs: seqs, opts: r.sub.Opts, ctx: fctx, cancel: fcancel, state: StateQueued}
 				flightByKey[r.key] = fl
 				pending = append(pending, fl)
 			} else {
 				job.coalesced = true
 			}
 			job.fl = fl
+			job.Trace = fl.trace
 			job.state = StateQueued
 			fl.jobs = append(fl.jobs, job)
 			s.rememberLocked(job)
@@ -435,7 +461,7 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 		}
 	}
 	if err := s.journal.Rewrite(compact); err != nil {
-		s.logf("serve: journal compaction: %v", err)
+		s.log.Warn("journal compaction failed", "err", err)
 	}
 
 	// Recovered jobs restart their deadline budget at replay time — the

@@ -30,14 +30,17 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/bio"
 	"repro/internal/fasta"
 	"repro/internal/msa"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -105,7 +108,17 @@ type Config struct {
 	StoreEntries int   // disk store entry bound (default 4096; -1 disables the disk result tier)
 	StoreBytes   int64 // disk store byte bound (default 1 GiB; -1 unbounded)
 
-	Logf func(format string, args ...any) // operational warnings (journal I/O errors, recovery notes); nil = silent
+	// Logger receives structured operational logs (job lifecycle,
+	// journal I/O errors, recovery notes), keyed by job/trace IDs. When
+	// nil, the legacy Logf sink is adapted; with neither, silent.
+	Logger *slog.Logger
+	Logf   func(format string, args ...any) // legacy printf sink; used only when Logger is nil
+
+	// NoTrace disables per-job span tracing: no tracer enters the
+	// pipeline context (the disabled path costs one context lookup),
+	// /v1/jobs/{id}/trace answers 404 and the per-stage histograms stay
+	// empty. Alignment bytes are identical either way.
+	NoTrace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +156,7 @@ func (c Config) withDefaults() Config {
 // by Server.mu.
 type flight struct {
 	key    string
+	trace  string // trace ID: one per computation, shared by coalesced jobs
 	seqs   []bio.Sequence
 	opts   Resolved
 	ctx    context.Context
@@ -160,6 +174,7 @@ type flight struct {
 type Job struct {
 	ID        string
 	Key       string // content address (cache key)
+	Trace     string // trace ID of the computation this job rides (may be empty)
 	Opts      Resolved
 	Submitted time.Time
 	NumSeqs   int
@@ -190,6 +205,7 @@ type JobView struct {
 	Coalesced bool       `json:"coalesced,omitempty"` // attached to an identical in-flight job
 	Recovered bool       `json:"recovered,omitempty"` // re-enqueued by journal replay after a restart
 	Key       string     `json:"cache_key"`
+	TraceID   string     `json:"trace_id,omitempty"` // span tree at /v1/jobs/{id}/trace once done
 	NumSeqs   int        `json:"num_seqs"`
 	Opts      Resolved   `json:"options"`
 	Submitted time.Time  `json:"submitted_at"`
@@ -210,6 +226,7 @@ func (j *Job) View() JobView {
 		Coalesced: j.coalesced,
 		Recovered: j.recovered,
 		Key:       j.Key,
+		TraceID:   j.Trace,
 		NumSeqs:   j.NumSeqs,
 		Opts:      j.Opts,
 		Submitted: j.Submitted,
@@ -283,7 +300,7 @@ func (s *Server) lookupResult(key string) (*Result, bool) {
 	}
 	res, err := resultFromMeta(meta, payload)
 	if err != nil {
-		s.logf("serve: result %s meta unreadable: %v", key, err)
+		s.log.Warn("result meta unreadable", "key", key, "err", err)
 		return nil, false
 	}
 	s.metrics.StoreHits.Inc()
@@ -298,10 +315,12 @@ type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
+	log     *slog.Logger
 	started time.Time
 
 	journal   *store.Journal
 	results   *store.Results
+	traces    *store.Results // finished span trees, keyed like results
 	unlockDir func()
 	recovery  RecoveryInfo
 
@@ -340,6 +359,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		cache:      NewCache(cacheEntries, cacheBytes),
 		metrics:    NewMetrics(),
+		log:        resolveLogger(cfg.Logger, cfg.Logf),
 		started:    time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -406,7 +426,7 @@ func (s *Server) Close() {
 	if s.journal != nil {
 		s.journalAppend(store.Record{Type: store.RecShutdown, Time: time.Now()})
 		if err := s.journal.Close(); err != nil {
-			s.logf("serve: closing journal: %v", err)
+			s.log.Warn("closing journal", "err", err)
 		}
 	}
 	if s.unlockDir != nil {
@@ -415,19 +435,16 @@ func (s *Server) Close() {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-func newJobID() string {
+func randomID(prefix string) string {
 	var b [9]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(err) // crypto/rand never fails on supported platforms
 	}
-	return "j" + hex.EncodeToString(b[:])
+	return prefix + hex.EncodeToString(b[:])
 }
+
+func newJobID() string   { return randomID("j") }
+func newTraceID() string { return randomID("t") }
 
 // Submit validates, cache-checks, coalesces and enqueues one job. The
 // returned job may already be terminal (cache or store hit) or riding
@@ -481,6 +498,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 	if res, ok := s.lookupResult(job.Key); ok {
 		s.metrics.Submitted.Inc()
 		s.metrics.CacheHits.Inc()
+		job.Trace = res.TraceID // the original computation's trace
 		job.state = StateDone
 		job.cached = true
 		job.result = s.retainedResult(res)
@@ -489,6 +507,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		s.remember(job)
 		s.metrics.Completed.Inc()
 		s.journalTerminalJob(job)
+		s.log.Info("job served from cache", "job", job.ID, "key", job.Key, "trace", job.Trace)
 		return job, nil
 	}
 
@@ -503,6 +522,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 	// attached job takes no queue slot — it rides the existing one.
 	if fl := s.inflight[job.Key]; fl != nil {
 		job.coalesced = true
+		job.Trace = fl.trace
 		job.fl = fl
 		fl.jobs = append(fl.jobs, job)
 		job.state = StateQueued
@@ -515,6 +535,8 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		s.metrics.Submitted.Inc()
 		s.metrics.Coalesced.Inc()
 		s.journalSubmit(job, seqs)
+		s.log.Info("job coalesced onto in-flight computation",
+			"job", job.ID, "key", job.Key, "trace", job.Trace)
 		s.armDeadline(job, now)
 		return job, nil
 	}
@@ -527,6 +549,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 	fctx, fcancel := context.WithCancelCause(s.baseCtx)
 	fl := &flight{
 		key:        job.Key,
+		trace:      newTraceID(),
 		seqs:       seqs,
 		opts:       opts,
 		ctx:        fctx,
@@ -536,6 +559,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		queuedSlot: true,
 	}
 	job.fl = fl
+	job.Trace = fl.trace
 	job.state = StateQueued
 	s.inflight[job.Key] = fl
 	s.queued++
@@ -544,6 +568,8 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 
 	s.metrics.Submitted.Inc()
 	s.metrics.CacheMisses.Inc()
+	s.log.Info("job accepted", "job", job.ID, "key", job.Key, "trace", fl.trace,
+		"procs", opts.Procs, "aligner", opts.Aligner, "num_seqs", job.NumSeqs)
 	// Journal before the flight can be dispatched: once the caller sees
 	// an accepted job, a crash must not lose it.
 	s.journalSubmit(job, seqs)
@@ -722,6 +748,7 @@ func (s *Server) cancelJob(j *Job, cause error) bool {
 	close(j.done)
 	s.metrics.Canceled.Inc()
 	s.journalFinish(j.ID, j.Key, StateCanceled, cause, nil, now)
+	s.log.Info("job canceled", "job", j.ID, "key", j.Key, "trace", j.Trace, "cause", cause)
 	return true
 }
 
@@ -779,9 +806,32 @@ func (s *Server) run(fl *flight) {
 		err error
 	)
 	if err = fl.ctx.Err(); err == nil {
+		// Tracing: one tracer per flight, its ID shared by every
+		// coalesced job. Finished spans feed the per-stage histograms as
+		// they end; the whole tree is serialized into the result below.
+		// The tracer rides the context — alignment code sees only
+		// obs.Start calls, which are inert when NoTrace leaves it out.
+		ctx := fl.ctx
+		var tr *obs.Tracer
+		if !s.cfg.NoTrace {
+			tr = obs.New(obs.Options{ID: fl.trace, OnSpanEnd: s.metrics.ObserveStage})
+			ctx = obs.WithTracer(ctx, tr)
+		}
+		jctx, root := obs.Start(ctx, "job")
+		if root != nil {
+			root.SetStr("executor", s.cfg.Executor.Name())
+			root.SetStr("aligner", fl.opts.Aligner)
+			root.SetStr("kernel", fl.opts.Kernel)
+			root.SetInt("procs", int64(fl.opts.Procs))
+			root.SetInt("num_seqs", int64(len(fl.seqs)))
+		}
 		var aln *msa.Alignment
 		var rep ExecReport
-		aln, rep, err = s.cfg.Executor.Align(fl.ctx, fl.seqs, fl.opts)
+		aln, rep, err = s.cfg.Executor.Align(jctx, fl.seqs, fl.opts)
+		if root != nil {
+			root.SetBool("ok", err == nil)
+			root.End()
+		}
 		if err == nil {
 			res = &Result{
 				FASTA:     []byte(fasta.FormatString(aln.Seqs)),
@@ -790,7 +840,15 @@ func (s *Server) run(fl *flight) {
 				Procs:     rep.Procs,
 				BytesSent: rep.BytesSent,
 				BytesRecv: rep.BytesRecv,
+				TraceID:   fl.trace,
 			}
+			if tr != nil {
+				if doc, derr := json.Marshal(tr.Document()); derr == nil {
+					res.Trace = doc
+				}
+			}
+			s.metrics.CommSent.Add(rep.BytesSent)
+			s.metrics.CommRecv.Add(rep.BytesRecv)
 		}
 	}
 	finished := time.Now()
@@ -807,6 +865,7 @@ func (s *Server) run(fl *flight) {
 		// inflight-map removal below) looks for it.
 		s.cache.Put(fl.key, res)
 		s.storePut(fl.key, res)
+		s.storePutTrace(fl.key, res)
 	case wasCanceled(fl.ctx, err):
 		outcome = StateCanceled
 		cause = cancelCause(fl.ctx, err)
@@ -826,6 +885,14 @@ func (s *Server) run(fl *flight) {
 	s.mu.Unlock()
 
 	s.metrics.RunSeconds.Observe(elapsed.Seconds())
+	switch outcome {
+	case StateDone:
+		s.log.Info("flight finished", "key", fl.key, "trace", fl.trace,
+			"elapsed", elapsed, "jobs", len(jobs))
+	default:
+		s.log.Warn("flight ended without result", "key", fl.key, "trace", fl.trace,
+			"state", string(outcome), "elapsed", elapsed, "err", cause)
+	}
 	for _, j := range jobs {
 		s.finalizeJob(j, outcome, res, cause, finished)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"strings"
 	"time"
@@ -15,9 +16,10 @@ import (
 
 // WorkerConfig configures one cluster worker daemon.
 type WorkerConfig struct {
-	CtrlAddr string // control listen address (coordinator dials this)
-	MeshAddr string // fixed rank mesh listen address, advertised per job
-	Logf     func(format string, args ...any)
+	CtrlAddr string                           // control listen address (coordinator dials this)
+	MeshAddr string                           // fixed rank mesh listen address, advertised per job
+	Logger   *slog.Logger                     // structured logs; preferred
+	Logf     func(format string, args ...any) // legacy printf sink, used only when Logger is nil
 }
 
 // RunWorker serves cluster jobs until ctx is cancelled: accept one
@@ -25,9 +27,7 @@ type WorkerConfig struct {
 // the mesh address is fixed — so a worker is claimed for the duration
 // of a job; admission control belongs to the coordinator.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
+	logger := resolveLogger(cfg.Logger, cfg.Logf)
 	if cfg.MeshAddr == "" {
 		return fmt.Errorf("serve: worker needs a mesh address")
 	}
@@ -41,7 +41,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		<-ctx.Done()
 		_ = ln.Close() // unblock Accept
 	}()
-	cfg.Logf("worker: control on %s, mesh on %s", ln.Addr(), cfg.MeshAddr)
+	logger.Info("worker listening", "ctrl", ln.Addr().String(), "mesh", cfg.MeshAddr)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -50,8 +50,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			return fmt.Errorf("serve: worker accept: %w", err)
 		}
-		if err := handleWorkerJob(ctx, conn, cfg); err != nil && ctx.Err() == nil {
-			cfg.Logf("worker: job failed: %v", err)
+		if err := handleWorkerJob(ctx, conn, cfg, logger); err != nil && ctx.Err() == nil {
+			logger.Warn("worker job failed", "err", err)
 		}
 	}
 }
@@ -59,7 +59,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // handleWorkerJob runs one job's rank over the given control
 // connection. The returned error is also reported to the coordinator in
 // the final ack when the connection still works.
-func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig, logger *slog.Logger) error {
 	defer func() { _ = conn.Close() }()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
@@ -91,7 +91,7 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error
 		enc.Encode(jobAck{Error: fmt.Sprintf("parsing shard: %v", err)})
 		return fmt.Errorf("parsing shard: %w", err)
 	}
-	cfg.Logf("worker: job rank %d/%d, %d local sequences", spec.Rank, len(spec.Addrs), len(shard))
+	logger.Info("worker job starting", "rank", spec.Rank, "procs", len(spec.Addrs), "local_seqs", len(shard))
 
 	// The control connection doubles as the cancellation channel: the
 	// coordinator closing it (job cancelled, coordinator died) cancels
@@ -131,6 +131,6 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig) error
 		enc.Encode(jobAck{Error: runErr.Error()})
 		return fmt.Errorf("rank %d: %w", spec.Rank, runErr)
 	}
-	cfg.Logf("worker: job rank %d done", spec.Rank)
+	logger.Info("worker job done", "rank", spec.Rank)
 	return enc.Encode(jobAck{OK: true})
 }

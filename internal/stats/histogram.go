@@ -183,13 +183,31 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 }
 
 // WritePrometheus renders the histogram in Prometheus text exposition
-// format under the given metric name (no labels).
-func (s HistogramSnapshot) WritePrometheus(b *strings.Builder, name string) {
+// format under the given metric name (no labels), with HELP and TYPE
+// headers.
+func (s HistogramSnapshot) WritePrometheus(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
-	for i, bound := range s.Bounds {
-		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, bound, s.Cumulative[i])
+	s.writeSeries(b, name, "")
+}
+
+// writeSeries emits the bucket/sum/count sample lines for one series.
+// labels, when non-empty, is a rendered `key="value"` fragment inserted
+// before the le label (e.g. `stage="guidetree"`).
+func (s HistogramSnapshot) writeSeries(b *strings.Builder, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Total)
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%g\"} %d\n", name, sep, bound, s.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, s.Total)
+	if labels != "" {
+		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, s.Sum)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, s.Total)
+		return
+	}
 	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum)
 	fmt.Fprintf(b, "%s_count %d\n", name, s.Total)
 }

@@ -96,9 +96,10 @@ func TestLatencyHistogramPrometheus(t *testing.T) {
 	h.Observe(0.7)
 	h.Observe(5)
 	var b strings.Builder
-	h.Snapshot().WritePrometheus(&b, "job_seconds")
+	h.Snapshot().WritePrometheus(&b, "job_seconds", "Job wall-clock.")
 	out := b.String()
 	for _, want := range []string{
+		"# HELP job_seconds Job wall-clock.",
 		"# TYPE job_seconds histogram",
 		`job_seconds_bucket{le="0.5"} 1`,
 		`job_seconds_bucket{le="1"} 2`,

@@ -19,15 +19,19 @@ import (
 // workers <= 0 selects par.DefaultWorkers(); workers == 1 reduces inline
 // with no goroutines. On a task error or context cancellation the
 // reduction stops (in-flight nodes finish) and the error is returned.
+//
+// Each merge receives a Merge describing its position in the tree, so
+// callers can attach per-node observability (e.g. depth-sampled trace
+// spans) without re-deriving the topology.
 func ParallelReduce[T any](ctx context.Context, root *Node, workers int,
-	leaf func(*Node) (T, error), merge func(left, right T) (T, error)) (T, error) {
+	leaf func(*Node) (T, error), merge func(m Merge, left, right T) (T, error)) (T, error) {
 	var zero T
 	if root == nil {
 		return zero, ctx.Err()
 	}
 	s := par.NewSched()
-	var reg func(n *Node) (par.TaskID, *T)
-	reg = func(n *Node) (par.TaskID, *T) {
+	var reg func(n *Node, depth int) (par.TaskID, *T)
+	reg = func(n *Node, depth int) (par.TaskID, *T) {
 		out := new(T)
 		if n.IsLeaf() {
 			id := s.Add(func() error {
@@ -40,10 +44,11 @@ func ParallelReduce[T any](ctx context.Context, root *Node, workers int,
 			})
 			return id, out
 		}
-		lid, lv := reg(n.Left)
-		rid, rv := reg(n.Right)
+		lid, lv := reg(n.Left, depth+1)
+		rid, rv := reg(n.Right, depth+1)
+		m := Merge{Node: n, Depth: depth}
 		id := s.Add(func() error {
-			v, err := merge(*lv, *rv)
+			v, err := merge(m, *lv, *rv)
 			if err != nil {
 				return err
 			}
@@ -59,9 +64,16 @@ func ParallelReduce[T any](ctx context.Context, root *Node, workers int,
 		}, lid, rid)
 		return id, out
 	}
-	_, rootVal := reg(root)
+	_, rootVal := reg(root, 0)
 	if err := s.Run(ctx, workers); err != nil {
 		return zero, err
 	}
 	return *rootVal, nil
+}
+
+// Merge identifies one internal node of a ParallelReduce: the node
+// being merged and its depth below the root (root merge = 0).
+type Merge struct {
+	Node  *Node
+	Depth int
 }

@@ -25,7 +25,7 @@ func randomTree(t *testing.T, n int, seed int64) *Node {
 func TestParallelReduceCountsLeaves(t *testing.T) {
 	root := randomTree(t, 97, 7)
 	leaf := func(n *Node) (int, error) { return 1, nil }
-	merge := func(l, r int) (int, error) { return l + r, nil }
+	merge := func(_ Merge, l, r int) (int, error) { return l + r, nil }
 	for _, workers := range []int{1, 2, 8} {
 		got, err := ParallelReduce(context.Background(), root, workers, leaf, merge)
 		if err != nil {
@@ -42,7 +42,7 @@ func TestParallelReduceDeterministicOrder(t *testing.T) {
 	// order) must not depend on the worker count.
 	root := randomTree(t, 41, 11)
 	leaf := func(n *Node) (string, error) { return fmt.Sprintf("%d", n.ID), nil }
-	merge := func(l, r string) (string, error) { return "(" + l + "," + r + ")", nil }
+	merge := func(_ Merge, l, r string) (string, error) { return "(" + l + "," + r + ")", nil }
 	ref, err := ParallelReduce(context.Background(), root, 1, leaf, merge)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestParallelReduceLeafError(t *testing.T) {
 		}
 		return 1, nil
 	}
-	merge := func(l, r int) (int, error) { return l + r, nil }
+	merge := func(_ Merge, l, r int) (int, error) { return l + r, nil }
 	for _, workers := range []int{1, 4} {
 		if _, err := ParallelReduce(context.Background(), root, workers, leaf, merge); !errors.Is(err, boom) {
 			t.Fatalf("workers=%d: err = %v, want bad leaf", workers, err)
@@ -75,9 +75,47 @@ func TestParallelReduceLeafError(t *testing.T) {
 	}
 }
 
+func TestParallelReduceMergeInfo(t *testing.T) {
+	// Every merge must see its own node at the correct depth: the root
+	// merge at depth 0, children one deeper, down the whole tree.
+	root := randomTree(t, 33, 5)
+	wantDepth := map[*Node]int{}
+	var walk func(n *Node, d int)
+	walk = func(n *Node, d int) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		wantDepth[n] = d
+		walk(n.Left, d+1)
+		walk(n.Right, d+1)
+	}
+	walk(root, 0)
+	leaf := func(n *Node) (int, error) { return 1, nil }
+	seen := map[*Node]int{}
+	merge := func(m Merge, l, r int) (int, error) {
+		if m.Node == nil {
+			t.Error("merge with nil node")
+		} else {
+			seen[m.Node] = m.Depth
+		}
+		return l + r, nil
+	}
+	if _, err := ParallelReduce(context.Background(), root, 1, leaf, merge); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(wantDepth) {
+		t.Fatalf("saw %d merges, want %d", len(seen), len(wantDepth))
+	}
+	for n, d := range wantDepth {
+		if seen[n] != d {
+			t.Fatalf("node %v: depth %d, want %d", n, seen[n], d)
+		}
+	}
+}
+
 func TestParallelReduceNilAndSingle(t *testing.T) {
 	leaf := func(n *Node) (int, error) { return n.ID, nil }
-	merge := func(l, r int) (int, error) { return l + r, nil }
+	merge := func(_ Merge, l, r int) (int, error) { return l + r, nil }
 	got, err := ParallelReduce(context.Background(), nil, 4, leaf, merge)
 	if err != nil || got != 0 {
 		t.Fatalf("nil root: %d, %v", got, err)

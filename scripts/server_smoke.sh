@@ -6,7 +6,11 @@
 # (identical resubmission answered instantly) and restart recovery:
 # the server is stopped and restarted on the same data directory, and
 # the pre-restart result must be served from disk — byte-identical,
-# with zero alignments recomputed (asserted via /metrics).
+# with zero alignments recomputed (asserted via /metrics). Observability
+# is smoked end-to-end too: the job's span tree at /v1/jobs/{id}/trace
+# must cover all five pipeline stages with positive durations, the same
+# stages must show up as samplealign_stage_seconds histograms on
+# /metrics, and the persisted trace must survive the restart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +61,21 @@ curl -fsS "$BASE/v1/jobs/$ID/result" -o "$WORK/http.fa"
 diff "$WORK/batch.fa" "$WORK/http.fa"
 echo "byte-identical to samplealign output"
 
+echo "== trace: span tree covers every pipeline stage =="
+curl -fsS "$BASE/v1/jobs/$ID/trace" -o "$WORK/trace.json"
+stage_duration() { # stage_duration <stage> — first duration_ns of the named span
+  grep -A2 "\"name\": \"$1\"" "$WORK/trace.json" | sed -n 's/.*"duration_ns": \([0-9]*\).*/\1/p' | head -1
+}
+for STAGE in distmatrix guidetree decompose bucketalign merge; do
+  D=$(stage_duration "$STAGE")
+  [ -n "$D" ] || { echo "stage $STAGE missing from trace"; cat "$WORK/trace.json"; exit 1; }
+  [ "$D" -gt 0 ] || { echo "stage $STAGE has non-positive duration ${D}ns"; exit 1; }
+done
+grep -q '"trace_id": "t' "$WORK/trace.json" || { echo "trace document has no trace id"; exit 1; }
+TRACE_ID=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field trace_id)
+[ -n "$TRACE_ID" ] || { echo "job status carries no trace_id"; exit 1; }
+echo "trace $TRACE_ID: all five stages present with positive durations"
+
 echo "== cache: identical resubmission is served instantly =="
 RESUBMIT=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/jobs?procs=3")
 echo "$RESUBMIT" | grep -q '"cached": true' || { echo "resubmission missed the cache: $RESUBMIT"; exit 1; }
@@ -71,6 +90,12 @@ METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q '^samplealign_cache_hits_total [1-9]' || { echo "no cache hits recorded"; exit 1; }
 echo "$METRICS" | grep -q '^samplealign_jobs_completed_total' || { echo "no completion counter"; exit 1; }
 echo "$METRICS" | grep -q '^samplealign_store_entries [1-9]' || { echo "result not persisted to the store"; exit 1; }
+for STAGE in distmatrix guidetree decompose bucketalign merge; do
+  echo "$METRICS" | grep -q "^samplealign_stage_seconds_count{stage=\"$STAGE\"} [1-9]" \
+    || { echo "no samplealign_stage_seconds series for stage $STAGE"; exit 1; }
+done
+echo "$METRICS" | grep -q '^samplealign_comm_sent_bytes_total [0-9]' || { echo "no comm sent counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_comm_recv_bytes_total [0-9]' || { echo "no comm recv counter"; exit 1; }
 
 echo "== restart recovery: stop (SIGTERM drain), restart on the same data dir =="
 kill -TERM $SRV
@@ -82,8 +107,8 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 curl -fsS "$BASE/healthz" >/dev/null
-grep -q 'recovery from' "$WORK/srv2.log" || { echo "no recovery log line"; cat "$WORK/srv2.log"; exit 1; }
-grep -q 'clean shutdown: true' "$WORK/srv2.log" || { echo "shutdown was not journaled as clean"; cat "$WORK/srv2.log"; exit 1; }
+grep -q 'journal recovery complete' "$WORK/srv2.log" || { echo "no recovery log line"; cat "$WORK/srv2.log"; exit 1; }
+grep -q 'clean_shutdown=true' "$WORK/srv2.log" || { echo "shutdown was not journaled as clean"; cat "$WORK/srv2.log"; exit 1; }
 
 echo "== pre-restart job is still visible; its result streams from disk =="
 STATE2=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field state)
@@ -91,6 +116,16 @@ STATE2=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field state)
 curl -fsS "$BASE/v1/jobs/$ID/result" -o "$WORK/recovered.fa"
 diff "$WORK/batch.fa" "$WORK/recovered.fa"
 echo "recovered result byte-identical to samplealign output"
+
+echo "== persisted trace survives the restart =="
+curl -fsS "$BASE/v1/jobs/$ID/trace" -o "$WORK/trace2.json"
+for STAGE in distmatrix guidetree decompose bucketalign merge; do
+  grep -q "\"name\": \"$STAGE\"" "$WORK/trace2.json" \
+    || { echo "stage $STAGE missing from recovered trace"; cat "$WORK/trace2.json"; exit 1; }
+done
+diff "$WORK/trace.json" "$WORK/trace2.json" >/dev/null \
+  || { echo "recovered trace differs from the original"; exit 1; }
+echo "recovered trace byte-identical to the original"
 
 echo "== identical resubmission after restart hits the disk store =="
 RESUBMIT2=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/jobs?procs=3")

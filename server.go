@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -51,9 +52,16 @@ type ServerConfig struct {
 	// 30s; < 0 skips draining).
 	DrainTimeout time.Duration
 
-	// Logf receives operational warnings (journal I/O errors, recovery
-	// notes). nil = silent.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs (job lifecycle keyed
+	// by job/trace IDs, journal I/O errors, recovery notes). When nil,
+	// Logf is adapted; with neither, the server is silent.
+	Logger *slog.Logger
+	Logf   func(format string, args ...any) // legacy printf sink, used only when Logger is nil
+
+	// NoTrace disables per-job span tracing: /v1/jobs/{id}/trace
+	// answers 404 and the per-stage histograms on /metrics stay empty.
+	// Alignment output is byte-identical with tracing on or off.
+	NoTrace bool
 
 	// Optional TCP rank cluster: when Workers lists samplealignd
 	// worker daemons (their -worker-ctrl addresses), jobs fan out to
@@ -104,7 +112,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		DataDir:       cfg.DataDir,
 		StoreEntries:  cfg.StoreEntries,
 		StoreBytes:    cfg.StoreBytes,
+		Logger:        cfg.Logger,
 		Logf:          cfg.Logf,
+		NoTrace:       cfg.NoTrace,
 	}
 	if len(cfg.ClusterWorkers) > 0 {
 		sc.Executor = &serve.Cluster{Workers: cfg.ClusterWorkers, SelfAddr: cfg.ClusterSelf}
@@ -158,6 +168,7 @@ func (s *Server) Drain(timeout time.Duration) bool { return s.inner.Drain(timeou
 //	POST   /v1/jobs             submit (async) → 202 + job status JSON
 //	GET    /v1/jobs/{id}        status
 //	GET    /v1/jobs/{id}/result aligned FASTA
+//	GET    /v1/jobs/{id}/trace  span-tree JSON of the finished run
 //	DELETE /v1/jobs/{id}        cancel
 //	POST   /v1/align            submit + wait; disconnect cancels the job
 //	GET    /healthz             liveness + queue stats
