@@ -16,6 +16,10 @@
 // each job's shard over the control connection):
 //
 //	samplealignd -worker-ctrl :9001 -worker-mesh 127.0.0.1:9101
+//
+// -metrics-addr serves rank-local Prometheus metrics (per-stage
+// latencies, job counts, DP-kernel tallies) on a separate listener in
+// either mode; -pprof-addr does the same for net/http/pprof.
 package main
 
 import (
@@ -46,6 +50,7 @@ func main() {
 	workerMesh := flag.String("worker-mesh", "", "worker mode: fixed rank mesh listen address (host:port reachable by the cluster)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines (default: text)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address — a separate listener (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve rank-local Prometheus metrics (stage latencies, job counts, kernel tallies) on this address — a separate listener (empty = disabled)")
 	flag.Parse()
 
 	var h slog.Handler
@@ -65,6 +70,19 @@ func main() {
 		logger.Info("pprof listening", "addr", bound)
 	}
 
+	// Rank-local metrics ride their own listener (same pattern as
+	// -pprof-addr) so scraping never touches the mesh or control ports.
+	var wm *serve.WorkerMetrics
+	if *metricsAddr != "" {
+		wm = serve.NewWorkerMetrics()
+		bound, msrv, err := obs.Serve(*metricsAddr, wm.Handler())
+		if err != nil {
+			fatal(fmt.Errorf("metrics listen %s: %w", *metricsAddr, err))
+		}
+		defer msrv.Close()
+		logger.Info("metrics listening", "addr", bound)
+	}
+
 	if *workerCtrl != "" || *workerMesh != "" {
 		if *workerCtrl == "" || *workerMesh == "" {
 			fatal(fmt.Errorf("worker mode needs both -worker-ctrl and -worker-mesh"))
@@ -74,6 +92,7 @@ func main() {
 		err := serve.RunWorker(ctx, serve.WorkerConfig{
 			CtrlAddr: *workerCtrl,
 			MeshAddr: *workerMesh,
+			Metrics:  wm,
 			Logger:   logger,
 		})
 		if err != nil && ctx.Err() == nil {
@@ -107,6 +126,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// Batch mode feeds the same stage histograms through a rank-local
+	// tracer; output stays byte-identical (tracing only observes).
+	if wm != nil {
+		ctx = obs.WithTracer(ctx, obs.New(obs.Options{OnSpanEnd: wm.ObserveStage}))
+		wm.JobStarted()
+	}
 	aln, err := samplealign.AlignTCPContext(ctx,
 		samplealign.TCPRankConfig{Rank: *rank, Addrs: addrs},
 		local,
@@ -114,6 +139,7 @@ func main() {
 		samplealign.WithLocalAligner(*aligner),
 		samplealign.WithKernel(*kernel),
 	)
+	wm.JobFinished(err == nil)
 	if err != nil {
 		fatal(err)
 	}

@@ -14,6 +14,7 @@
 //	curl -s localhost:8080/v1/jobs/<id>                               # status
 //	curl -s localhost:8080/v1/jobs/<id>/result                        # aligned FASTA
 //	curl -s localhost:8080/v1/jobs/<id>/trace                         # pipeline span tree
+//	curl -sN localhost:8080/v1/jobs/<id>/events                       # live progress (SSE)
 //
 // Or synchronously (client disconnect cancels the job):
 //
@@ -36,8 +37,11 @@
 //
 // Observability: logs are structured (text by default, -log-json for
 // JSON lines), every job carries a trace ID tying logs, the span tree
-// at /v1/jobs/{id}/trace and the per-stage histograms on /metrics
+// at /v1/jobs/{id}/trace, the live Server-Sent-Events progress stream
+// at /v1/jobs/{id}/events and the per-stage histograms on /metrics
 // together, and -pprof-addr serves net/http/pprof on its own listener.
+// In cluster mode the trace spans every rank: workers run their own
+// tracers and ship their span trees back for grafting into one tree.
 package main
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bio"
@@ -268,6 +269,28 @@ func TestTracingDeterminismMatrix(t *testing.T) {
 					}
 				})
 			}
+			// The streaming variant exercises both span-finish hooks (the
+			// metric feed and the live-event feed): firing synchronous
+			// callbacks from every span close must not perturb output.
+			t.Run("streaming", func(t *testing.T) {
+				var ends, closes atomic.Int64
+				tr := obs.New(obs.Options{
+					OnSpanEnd:   func(string, float64) { ends.Add(1) },
+					OnSpanClose: func(obs.SpanClose) { closes.Add(1) },
+				})
+				ctx := obs.WithTracer(context.Background(), tr)
+				aln, _, err := AlignContext(ctx, seqs, p, WithLocalAligner(eng))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(renderRows(aln), refRows) {
+					t.Fatalf("%s with streaming hooks differs from untraced run", eng)
+				}
+				if ends.Load() == 0 || closes.Load() == 0 {
+					t.Fatalf("streaming hooks never fired (ends=%d closes=%d) — the dimension is vacuous",
+						ends.Load(), closes.Load())
+				}
+			})
 		})
 	}
 }

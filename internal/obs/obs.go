@@ -61,6 +61,23 @@ type Options struct {
 	// it to feed per-stage latency histograms. It must be safe for
 	// concurrent use; it is called outside the tracer lock.
 	OnSpanEnd func(name string, seconds float64)
+	// OnSpanClose, when set, is invoked synchronously from Span.End
+	// (and once per span adopted via AttachRemote) with a snapshot of
+	// the finished span, attributes included. The serve layer uses it
+	// to feed the live job event stream. It must be safe for concurrent
+	// use; it is called outside the tracer lock.
+	OnSpanClose func(SpanClose)
+}
+
+// SpanClose is the snapshot handed to Options.OnSpanClose when a span
+// finishes: the name, the wall duration, and the attributes recorded up
+// to End. Remote marks spans adopted from another rank's tracer via
+// AttachRemote rather than ended locally.
+type SpanClose struct {
+	Name       string
+	DurationNs int64
+	Attrs      []Attr
+	Remote     bool
 }
 
 // Tracer collects one job's span tree. All methods are safe for
@@ -71,6 +88,7 @@ type Tracer struct {
 	maxSpans    int
 	sampleDepth int
 	onEnd       func(string, float64)
+	onClose     func(SpanClose)
 	t0          time.Time
 
 	mu      sync.Mutex
@@ -94,12 +112,19 @@ func New(o Options) *Tracer {
 		maxSpans:    max,
 		sampleDepth: depth,
 		onEnd:       o.OnSpanEnd,
+		onClose:     o.OnSpanClose,
 		t0:          now(),
 	}
 }
 
 // ID returns the trace identifier the tracer was created with.
 func (t *Tracer) ID() string { return t.id }
+
+// Bounds returns the tracer's resolved span cap and sampling depth, for
+// propagating the same tracing configuration to remote ranks.
+func (t *Tracer) Bounds() (maxSpans, sampleDepth int) {
+	return t.maxSpans, t.sampleDepth
+}
 
 // WithTracer installs t as the collector for spans started under the
 // returned context. Installing nil returns ctx unchanged.
@@ -240,10 +265,84 @@ func (s *Span) End() {
 	s.ended = true
 	s.durNs = dur
 	hook := s.tr.onEnd
+	closeHook := s.tr.onClose
+	var sc SpanClose
+	if closeHook != nil {
+		sc = SpanClose{Name: s.name, DurationNs: dur, Attrs: append([]Attr(nil), s.attrs...)}
+	}
 	s.tr.mu.Unlock()
 	if hook != nil {
 		hook(s.name, float64(dur)/1e9)
 	}
+	if closeHook != nil {
+		closeHook(sc)
+	}
+}
+
+// AttachRemote grafts a remotely collected span tree — a worker rank's
+// serialized Document — under s as already-ended child spans. Adopted
+// spans count against this tracer's MaxSpans bound: once the cap is
+// reached, remaining subtrees are dropped and accounted, and the remote
+// document's own dropped count carries over. Span timings inside the
+// adopted subtree stay relative to the remote tracer's start time, not
+// this one's; consumers read them as durations, not as a shared
+// timeline. The tracer's OnSpanEnd/OnSpanClose hooks fire once per
+// adopted span (children before parents, mirroring live End order), so
+// stage histograms and event streams cover remote ranks too. No-op on a
+// nil span or nil document.
+func (s *Span) AttachRemote(doc *Document) {
+	if s == nil || doc == nil {
+		return
+	}
+	t := s.tr
+	var closed []SpanClose
+	t.mu.Lock()
+	t.dropped += doc.DroppedSpans
+	var adopt func(parent *Span, d *SpanDoc)
+	adopt = func(parent *Span, d *SpanDoc) {
+		if t.maxSpans >= 0 && t.spans >= t.maxSpans {
+			t.dropped += int64(docSpanCount(d))
+			return
+		}
+		t.spans++
+		sp := &Span{tr: t, name: d.Name, startNs: d.StartNs, durNs: d.DurationNs, ended: true}
+		if len(d.Attrs) > 0 {
+			sp.attrs = append([]Attr(nil), d.Attrs...)
+		}
+		parent.children = append(parent.children, sp)
+		for _, c := range d.Children {
+			adopt(sp, c)
+		}
+		closed = append(closed, SpanClose{
+			Name:       sp.name,
+			DurationNs: sp.durNs,
+			Attrs:      append([]Attr(nil), sp.attrs...),
+			Remote:     true,
+		})
+	}
+	for _, r := range doc.Spans {
+		adopt(s, r)
+	}
+	hook, closeHook := t.onEnd, t.onClose
+	t.mu.Unlock()
+	for _, sc := range closed {
+		if hook != nil {
+			hook(sc.Name, float64(sc.DurationNs)/1e9)
+		}
+		if closeHook != nil {
+			closeHook(sc)
+		}
+	}
+}
+
+// docSpanCount counts the spans in a subtree, for drop accounting when
+// an adopted tree overflows MaxSpans.
+func docSpanCount(d *SpanDoc) int {
+	n := 1
+	for _, c := range d.Children {
+		n += docSpanCount(c)
+	}
+	return n
 }
 
 // Wall returns the span's recorded duration (zero until End). This is a

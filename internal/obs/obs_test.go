@@ -242,6 +242,154 @@ func TestDocumentJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBounds(t *testing.T) {
+	maxSpans, sampleDepth := New(Options{}).Bounds()
+	if maxSpans != DefaultMaxSpans || sampleDepth != DefaultSampleDepth {
+		t.Fatalf("default Bounds = (%d, %d), want (%d, %d)",
+			maxSpans, sampleDepth, DefaultMaxSpans, DefaultSampleDepth)
+	}
+	maxSpans, sampleDepth = New(Options{MaxSpans: -1, SampleDepth: 7}).Bounds()
+	if maxSpans != -1 || sampleDepth != 7 {
+		t.Fatalf("Bounds = (%d, %d), want (-1, 7)", maxSpans, sampleDepth)
+	}
+}
+
+func TestOnSpanCloseHook(t *testing.T) {
+	var mu sync.Mutex
+	var closes []SpanClose
+	tr := New(Options{OnSpanClose: func(sc SpanClose) {
+		mu.Lock()
+		closes = append(closes, sc)
+		mu.Unlock()
+	}})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "job")
+	_, sp := Start(ctx, "guidetree")
+	sp.SetStr("method", "upgma")
+	sp.End()
+	sp.End() // idempotent: the hook must not fire again
+	root.End()
+
+	if len(closes) != 2 {
+		t.Fatalf("OnSpanClose fired %d times, want 2", len(closes))
+	}
+	first := closes[0]
+	if first.Name != "guidetree" || first.Remote {
+		t.Fatalf("first close = %+v, want local guidetree", first)
+	}
+	if first.DurationNs < 0 {
+		t.Fatalf("negative close duration: %d", first.DurationNs)
+	}
+	if len(first.Attrs) != 1 || first.Attrs[0] != (Attr{Key: "method", Value: "upgma"}) {
+		t.Fatalf("close attrs = %+v", first.Attrs)
+	}
+	if closes[1].Name != "job" {
+		t.Fatalf("second close = %+v, want job", closes[1])
+	}
+}
+
+func TestAttachRemote(t *testing.T) {
+	// A "worker rank" produces a finished document under the shared ID...
+	remote := New(Options{ID: "shared"})
+	rctx := WithTracer(context.Background(), remote)
+	rctx, rank := Start(rctx, "rank")
+	rank.SetInt("rank", 2)
+	_, st := Start(rctx, "distmatrix")
+	st.End()
+	rank.End()
+	rdoc := remote.Document()
+
+	// ...and the coordinator grafts it under a per-rank wrapper span,
+	// replaying the adopted spans through both hooks with Remote set.
+	var mu sync.Mutex
+	endCalls := map[string]int{}
+	var remoteCloses []SpanClose
+	tr := New(Options{
+		ID:        "shared",
+		OnSpanEnd: func(name string, sec float64) { mu.Lock(); endCalls[name]++; mu.Unlock() },
+		OnSpanClose: func(sc SpanClose) {
+			if sc.Remote {
+				mu.Lock()
+				remoteCloses = append(remoteCloses, sc)
+				mu.Unlock()
+			}
+		},
+	})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, job := Start(ctx, "job")
+	_, worker := Start(ctx, "worker")
+	worker.AttachRemote(rdoc)
+	worker.End()
+	job.End()
+
+	doc := tr.Document()
+	if doc.SpanCount != 4 { // job + worker + adopted rank + adopted distmatrix
+		t.Fatalf("span count = %d, want 4", doc.SpanCount)
+	}
+	w := doc.Spans[0].Children[0]
+	if len(w.Children) != 1 || w.Children[0].Name != "rank" {
+		t.Fatalf("worker children = %+v, want adopted rank span", w.Children)
+	}
+	adopted := w.Children[0]
+	if len(adopted.Attrs) != 1 || adopted.Attrs[0] != (Attr{Key: "rank", Value: "2"}) {
+		t.Fatalf("adopted rank attrs = %+v", adopted.Attrs)
+	}
+	if len(adopted.Children) != 1 || adopted.Children[0].Name != "distmatrix" {
+		t.Fatalf("adopted rank children = %+v", adopted.Children)
+	}
+	// Remote timings are preserved verbatim, not re-measured.
+	if adopted.DurationNs != rdoc.Spans[0].DurationNs {
+		t.Fatalf("adopted duration %d != remote %d", adopted.DurationNs, rdoc.Spans[0].DurationNs)
+	}
+	if endCalls["distmatrix"] != 1 || endCalls["rank"] != 1 {
+		t.Fatalf("OnSpanEnd calls for adopted spans = %v", endCalls)
+	}
+	if len(remoteCloses) != 2 {
+		t.Fatalf("remote OnSpanClose fired %d times, want 2", len(remoteCloses))
+	}
+}
+
+func TestAttachRemoteRespectsSpanCap(t *testing.T) {
+	remote := New(Options{MaxSpans: -1})
+	rctx := WithTracer(context.Background(), remote)
+	rctx, rank := Start(rctx, "rank")
+	for i := 0; i < 5; i++ {
+		_, sp := Start(rctx, "phase")
+		sp.End()
+	}
+	rank.End()
+	rdoc := remote.Document()
+	rdoc.DroppedSpans = 3 // the remote side already shed spans
+
+	tr := New(Options{MaxSpans: 4})
+	ctx := WithTracer(context.Background(), tr)
+	_, worker := Start(ctx, "worker")
+	worker.AttachRemote(rdoc)
+	worker.End()
+
+	doc := tr.Document()
+	if doc.SpanCount != 4 {
+		t.Fatalf("span count = %d, want cap 4", doc.SpanCount)
+	}
+	// 6 remote spans minus 3 adopted, plus the remote side's own 3.
+	if doc.DroppedSpans != 6 {
+		t.Fatalf("dropped = %d, want 6", doc.DroppedSpans)
+	}
+}
+
+func TestAttachRemoteNilSafety(t *testing.T) {
+	var sp *Span
+	sp.AttachRemote(&Document{Spans: []*SpanDoc{{Name: "rank"}}}) // nil span: no-op
+	tr := New(Options{})
+	ctx := WithTracer(context.Background(), tr)
+	_, real := Start(ctx, "worker")
+	real.AttachRemote(nil) // nil doc: no-op
+	real.End()
+	if got := tr.Document().SpanCount; got != 1 {
+		t.Fatalf("span count = %d, want 1", got)
+	}
+}
+
 func TestServePprofSeparateListener(t *testing.T) {
 	addr, srv, err := ServePprof("127.0.0.1:0")
 	if err != nil {

@@ -27,12 +27,21 @@ func PprofHandler() http.Handler {
 // has no relation to the public API server — it is always a separate
 // listener.
 func ServePprof(addr string) (string, *http.Server, error) {
+	return Serve(addr, PprofHandler())
+}
+
+// Serve binds addr and serves h on it in a background goroutine: the
+// shared separate-listener pattern behind the daemons' -pprof-addr and
+// -metrics-addr flags. It returns the bound address (useful with ":0")
+// and the server for shutdown; the listener is always distinct from the
+// public API server.
+func Serve(addr string, h http.Handler) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{
-		Handler:           PprofHandler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

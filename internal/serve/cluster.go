@@ -13,6 +13,7 @@ import (
 	"repro/internal/fasta"
 	"repro/internal/mpi"
 	"repro/internal/msa"
+	"repro/internal/obs"
 )
 
 // The cluster job protocol: one TCP control connection per worker per
@@ -39,15 +40,28 @@ type helloMsg struct {
 }
 
 type jobSpec struct {
-	Rank    int      `json:"rank"`
-	Addrs   []string `json:"addrs"`
-	Options Resolved `json:"options"`
-	FASTA   string   `json:"fasta"` // this rank's input shard
+	Rank    int        `json:"rank"`
+	Addrs   []string   `json:"addrs"`
+	Options Resolved   `json:"options"`
+	Trace   *traceSpec `json:"trace,omitempty"` // nil = tracing off for this job
+	FASTA   string     `json:"fasta"`           // this rank's input shard
+}
+
+// traceSpec propagates the coordinator's tracing configuration to one
+// worker rank: the worker runs its own obs.Tracer under the same trace
+// ID and bounds, and ships the finished span tree back in its ack. The
+// whole job then renders as one tree — the coordinator grafts each
+// remote tree under a per-rank child span (obs.Span.AttachRemote).
+type traceSpec struct {
+	ID          string `json:"id"`
+	MaxSpans    int    `json:"max_spans"`
+	SampleDepth int    `json:"sample_depth"`
 }
 
 type jobAck struct {
-	OK    bool   `json:"ok"`
-	Error string `json:"error,omitempty"`
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Trace json.RawMessage `json:"trace,omitempty"` // the rank's obs.Document, when the spec asked for tracing
 }
 
 const clusterProto = 1
@@ -92,6 +106,25 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 	if dialTimeout == 0 {
 		dialTimeout = 5 * time.Second
 	}
+
+	// Distributed tracing: when the job context carries a tracer, every
+	// worker runs its own under the same ID and bounds and ships its
+	// span tree back in the ack; a per-rank "worker" span here covers
+	// claim-to-ack and adopts the remote tree, so the job renders as one
+	// tree over all p ranks. Span Start/End/AttachRemote are all nil-safe,
+	// so the untraced path stays branch-free.
+	tr := obs.FromContext(ctx)
+	var tspec *traceSpec
+	if tr != nil {
+		maxSpans, sampleDepth := tr.Bounds()
+		tspec = &traceSpec{ID: tr.ID(), MaxSpans: maxSpans, SampleDepth: sampleDepth}
+	}
+	wspans := make([]*obs.Span, len(c.Workers))
+	defer func() {
+		for _, sp := range wspans { // close spans left open by error paths (End is idempotent)
+			sp.End()
+		}
+	}()
 
 	// Phase 1: claim every worker and learn its mesh address. The
 	// conn-closing watcher is armed before the first write so a job
@@ -144,6 +177,10 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 			return nil, ExecReport{}, fmt.Errorf("serve: cluster worker %d (%s): %s", i+1, ctrl, hello.Error)
 		}
 		addrs[i+1] = hello.Mesh
+		_, wsp := obs.Start(ctx, "worker")
+		wsp.SetInt("rank", int64(i+1))
+		wsp.SetStr("ctrl", ctrl)
+		wspans[i] = wsp
 	}
 
 	// Phase 2: ship each worker its rank, the mesh and its input shard.
@@ -155,6 +192,7 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 			Rank:    i + 1,
 			Addrs:   addrs,
 			Options: opts,
+			Trace:   tspec,
 			FASTA:   fasta.FormatString(shards[i+1]),
 		}
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Minute))
@@ -188,13 +226,26 @@ func (c *Cluster) Align(ctx context.Context, seqs []bio.Sequence, opts Resolved)
 		go func(i int, conn net.Conn) {
 			var ack jobAck
 			if err := json.NewDecoder(conn).Decode(&ack); err != nil {
+				wspans[i].End()
 				ackCh <- fmt.Errorf("worker %d: control connection lost: %w", i+1, err)
 				return
 			}
 			if !ack.OK {
+				wspans[i].SetStr("error", ack.Error)
+				wspans[i].End()
 				ackCh <- fmt.Errorf("worker %d: %s", i+1, ack.Error)
 				return
 			}
+			if len(ack.Trace) > 0 {
+				var doc obs.Document
+				if err := json.Unmarshal(ack.Trace, &doc); err == nil {
+					wspans[i].SetInt("remote_spans", int64(doc.SpanCount))
+					wspans[i].AttachRemote(&doc)
+				} else {
+					wspans[i].SetStr("trace_error", err.Error())
+				}
+			}
+			wspans[i].End()
 			ackCh <- nil
 		}(i, conn)
 	}

@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fasta"
+	"repro/internal/obs"
 )
 
 // freeAddr reserves an ephemeral localhost port and returns it. The
@@ -88,6 +90,106 @@ func TestClusterExecutorMatchesInproc(t *testing.T) {
 	if aln2.NumSeqs() != 10 {
 		t.Fatalf("second job rows = %d", aln2.NumSeqs())
 	}
+}
+
+// TestClusterDistributedTrace runs a traced p=4 TCP job and asserts the
+// coordinator's tree covers every rank: rank 0's own pipeline spans plus
+// one "worker" wrapper per remote rank with the worker's shipped span
+// tree grafted under it. Tracing must not perturb the result — the
+// output stays byte-identical to an untraced in-process run.
+func TestClusterDistributedTrace(t *testing.T) {
+	cl, stop := startCluster(t, 3)
+	defer stop()
+	seqs := testSeqs(24, 60, 74)
+	opts, err := resolve(Options{}, Options{}, Limits{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.New(obs.Options{ID: "cluster-trace", MaxSpans: -1})
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.Start(ctx, "job")
+	aln, rep, err := cl.Align(ctx, seqs, opts)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 4 {
+		t.Fatalf("cluster procs = %d, want 4", rep.Procs)
+	}
+
+	doc := tr.Document()
+	if doc.TraceID != "cluster-trace" {
+		t.Fatalf("trace id = %q", doc.TraceID)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "job" {
+		t.Fatalf("want single job root, got %+v", doc.Spans)
+	}
+
+	// Every rank 0..3 must contribute a "rank" span to the one tree:
+	// rank 0 natively, ranks 1..3 adopted under their "worker" wrappers.
+	var workers int
+	rankSpans := map[string]*obs.SpanDoc{}
+	var walk func(sp *obs.SpanDoc, underWorker bool)
+	walk = func(sp *obs.SpanDoc, underWorker bool) {
+		switch sp.Name {
+		case "worker":
+			workers++
+			underWorker = true
+		case "rank":
+			for _, a := range sp.Attrs {
+				if a.Key == "rank" {
+					rankSpans[a.Value] = sp
+				}
+			}
+			if underWorker {
+				// Remote timings ship as recorded; an adopted rank span
+				// must carry a real duration, not a re-measured zero.
+				if sp.DurationNs <= 0 {
+					t.Errorf("adopted rank span has duration %d", sp.DurationNs)
+				}
+			}
+		}
+		for _, c := range sp.Children {
+			walk(c, underWorker)
+		}
+	}
+	walk(doc.Spans[0], false)
+	if workers != 3 {
+		t.Fatalf("trace has %d worker wrapper spans, want 3", workers)
+	}
+	for r := 0; r < 4; r++ {
+		rank := rankSpans[fmt.Sprint(r)]
+		if rank == nil {
+			t.Fatalf("trace missing rank %d (have ranks %v)", r, keys(rankSpans))
+		}
+		// Each rank's subtree must include its share of the pipeline.
+		stages := map[string]*obs.SpanDoc{}
+		collectSpans(rank.Children, stages)
+		for _, stage := range []string{"decompose", "bucketalign", "merge"} {
+			if stages[stage] == nil {
+				t.Fatalf("rank %d trace missing stage %q", r, stage)
+			}
+		}
+	}
+
+	// Tracing is observation only: byte-identical to the untraced
+	// in-process run of the same input.
+	res, err := core.AlignInproc(seqs, 4, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fasta.FormatString(aln.Seqs), fasta.FormatString(res.Alignment.Seqs); got != want {
+		t.Fatalf("traced cluster output differs from inproc (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func keys(m map[string]*obs.SpanDoc) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 func TestClusterJobCancellation(t *testing.T) {

@@ -34,7 +34,10 @@ type SubmitRequest struct {
 //	POST   /v1/jobs             submit (async) → 202 + job status JSON
 //	GET    /v1/jobs/{id}        status JSON
 //	GET    /v1/jobs/{id}/result aligned FASTA
-//	GET    /v1/jobs/{id}/trace  span-tree JSON of the finished pipeline run
+//	GET    /v1/jobs/{id}/trace  span-tree JSON of the pipeline run (a live
+//	                            snapshot with X-Trace-Incomplete while running)
+//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events);
+//	                            disconnecting never cancels the job
 //	DELETE /v1/jobs/{id}        cancel
 //	POST   /v1/align            submit + wait (sync) → aligned FASTA;
 //	                            client disconnect cancels the job
@@ -46,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/align", s.handleAlignSync)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -336,10 +340,12 @@ func (s *Server) lookupTrace(job *Job, res *Result) ([]byte, bool) {
 	return nil, false
 }
 
-// handleTrace serves a finished job's span tree as indented JSON.
-// Unknown job → 404; not yet terminal → 409; finished without a trace
-// (tracing disabled, or a failed/canceled run) → 404; trace recorded
-// but since evicted from every tier → 410.
+// handleTrace serves a job's span tree as indented JSON. A running job
+// answers 200 with a live snapshot of the in-progress tree (unended
+// spans carry zero durations) marked by an X-Trace-Incomplete header.
+// Unknown job → 404; queued (no tracer yet) → 409; finished without a
+// trace (tracing disabled, or a failed/canceled run) → 404; trace
+// recorded but since evicted from every tier → 410.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -376,6 +382,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	case StateCanceled:
 		writeError(w, http.StatusGone, "job canceled: %v", err)
 	default:
+		if tr := s.liveTracer(job); tr != nil {
+			doc, derr := json.MarshalIndent(tr.Document(), "", "  ")
+			if derr == nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Job-Id", job.ID)
+				w.Header().Set("X-Trace-Id", job.Trace)
+				w.Header().Set("X-Trace-Incomplete", "1")
+				w.Write(doc)
+				return
+			}
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusConflict, "job is %s; trace is available once done", state)
 	}

@@ -27,7 +27,10 @@ type Metrics struct {
 	CommSent stats.Counter // MPI payload bytes sent across all finished jobs
 	CommRecv stats.Counter // MPI payload bytes received across all finished jobs
 
-	QueueWait  *stats.LatencyHistogram  // seconds from submit to execution start
+	TraceDropped  stats.Counter // spans dropped at the tracer's MaxSpans bound (remote drops folded in)
+	EventsDropped stats.Counter // live-stream events dropped on slow subscribers
+
+	QueueWait  *stats.LabeledHistograms // seconds from submit to leaving the queue, by outcome (dispatched/canceled/coalesced)
 	RunSeconds *stats.LatencyHistogram  // execution wall-clock
 	Stages     *stats.LabeledHistograms // per-pipeline-stage wall-clock, fed by trace spans
 }
@@ -35,7 +38,7 @@ type Metrics struct {
 // NewMetrics builds the metric set with the default latency bounds.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		QueueWait:  stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
+		QueueWait:  stats.MustLabeledHistograms(stats.DefaultLatencyBounds()),
 		RunSeconds: stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
 		Stages:     stats.MustLabeledHistograms(stats.DefaultLatencyBounds()),
 	}
@@ -85,6 +88,14 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 		b.WriteString("# TYPE " + name + " gauge\n")
 		writeMetricLine(&b, name, v)
 	}
+	gaugeF := func(name, help string, v float64) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " gauge\n")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
 	counter("samplealign_jobs_submitted_total", "Jobs accepted by submit.", m.Submitted.Value())
 	counter("samplealign_jobs_completed_total", "Jobs finished successfully.", m.Completed.Value())
 	counter("samplealign_jobs_failed_total", "Jobs finished with an error.", m.Failed.Value())
@@ -100,7 +111,10 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 	counter("samplealign_results_streamed_total", "Results streamed to clients from the on-disk store.", m.Streamed.Value())
 	counter("samplealign_comm_sent_bytes_total", "MPI payload bytes sent across all finished jobs.", m.CommSent.Value())
 	counter("samplealign_comm_recv_bytes_total", "MPI payload bytes received across all finished jobs.", m.CommRecv.Value())
+	counter("samplealign_trace_dropped_spans_total", "Trace spans dropped at the tracer's MaxSpans bound.", m.TraceDropped.Value())
+	counter("samplealign_events_dropped_total", "Live-stream events dropped on slow subscribers.", m.EventsDropped.Value())
 	gauge("samplealign_queue_depth", "Flights admitted and waiting.", int64(q.Queued))
+	gaugeF("samplealign_queue_oldest_age_seconds", "Seconds the head-of-line flight has waited; 0 with an empty queue.", q.OldestQueuedAge)
 	gauge("samplealign_jobs_running", "Flights currently executing.", int64(q.Active))
 	gauge("samplealign_draining", "1 while the server refuses new submissions to drain.", m.Draining.Value())
 	gauge("samplealign_cache_entries", "Results held in the in-memory cache.", int64(q.CacheEntries))
@@ -112,8 +126,8 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 		gauge("samplealign_journal_records", "Records in the write-ahead journal.", persist.JournalRecords)
 		gauge("samplealign_journal_bytes", "Size of the write-ahead journal.", persist.JournalBytes)
 	}
-	m.QueueWait.Snapshot().WritePrometheus(&b, "samplealign_job_queue_wait_seconds",
-		"Seconds from submit to execution start.")
+	m.QueueWait.WritePrometheus(&b, "samplealign_job_queue_wait_seconds",
+		"Seconds from submit to leaving the queue, by outcome (dispatched, canceled, coalesced).", "outcome")
 	m.RunSeconds.Snapshot().WritePrometheus(&b, "samplealign_job_run_seconds",
 		"Execution wall-clock seconds per job.")
 	m.Stages.WritePrometheus(&b, "samplealign_stage_seconds",

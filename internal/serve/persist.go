@@ -414,7 +414,8 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			fl := flightByKey[r.key]
 			if fl == nil {
 				fctx, fcancel := context.WithCancelCause(s.baseCtx)
-				fl = &flight{key: r.key, trace: newTraceID(), seqs: seqs, opts: r.sub.Opts, ctx: fctx, cancel: fcancel, state: StateQueued}
+				fl = &flight{key: r.key, trace: newTraceID(), seqs: seqs, opts: r.sub.Opts,
+					ctx: fctx, cancel: fcancel, bus: s.newEventBus(), enqueued: now, state: StateQueued}
 				flightByKey[r.key] = fl
 				pending = append(pending, fl)
 			} else {
@@ -422,9 +423,12 @@ func (s *Server) recoverFromJournal(recs []store.Record) {
 			}
 			job.fl = fl
 			job.Trace = fl.trace
+			job.bus = fl.bus
 			job.state = StateQueued
 			fl.jobs = append(fl.jobs, job)
 			s.rememberLocked(job)
+			s.publish(fl.bus, Event{Type: EventQueued, Job: job.ID, Trace: fl.trace,
+				Coalesced: job.coalesced, Recovered: true})
 			s.recovery.Requeued++
 			if r.interrupted {
 				s.recovery.Interrupted++

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/events"
 	"repro/internal/fasta"
 	"repro/internal/msa"
 	"repro/internal/obs"
@@ -155,16 +156,19 @@ func (c Config) withDefaults() Config {
 // coalescing), so identical work runs once. state and jobs are guarded
 // by Server.mu.
 type flight struct {
-	key    string
-	trace  string // trace ID: one per computation, shared by coalesced jobs
-	seqs   []bio.Sequence
-	opts   Resolved
-	ctx    context.Context
-	cancel context.CancelCauseFunc
+	key      string
+	trace    string // trace ID: one per computation, shared by coalesced jobs
+	seqs     []bio.Sequence
+	opts     Resolved
+	ctx      context.Context
+	cancel   context.CancelCauseFunc
+	bus      *events.Bus[Event] // live progress stream, shared by coalesced jobs
+	enqueued time.Time          // admission time, for queue-age accounting
 
 	state      State
 	jobs       []*Job
-	queuedSlot bool // holds one of the MaxQueued admission slots
+	queuedSlot bool        // holds one of the MaxQueued admission slots
+	tracer     *obs.Tracer // live tracer while running (guarded by Server.mu); nil when queued, finished or NoTrace
 }
 
 // Job is one submitted alignment request. Jobs sharing a flight
@@ -181,6 +185,7 @@ type Job struct {
 
 	fl   *flight // guarded by Server.mu; nil once detached or terminal
 	done chan struct{}
+	bus  *events.Bus[Event] // the flight's event stream; immutable once the job is visible; nil for journal-restored terminal jobs
 
 	mu        sync.Mutex
 	state     State
@@ -503,6 +508,11 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		job.cached = true
 		job.result = s.retainedResult(res)
 		job.started, job.finished = now, now
+		// A one-event stream so /events subscribers of a cache-hit job
+		// still replay a terminal event instead of hanging.
+		job.bus = s.newEventBus()
+		s.publish(job.bus, Event{Type: EventDone, Job: job.ID, Trace: job.Trace, Cached: true})
+		job.bus.Close()
 		close(job.done)
 		s.remember(job)
 		s.metrics.Completed.Inc()
@@ -524,9 +534,11 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		job.coalesced = true
 		job.Trace = fl.trace
 		job.fl = fl
+		job.bus = fl.bus
 		fl.jobs = append(fl.jobs, job)
 		job.state = StateQueued
-		if fl.state == StateRunning {
+		running := fl.state == StateRunning
+		if running {
 			job.state = StateRunning
 			job.started = now
 		}
@@ -534,6 +546,13 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		s.mu.Unlock()
 		s.metrics.Submitted.Inc()
 		s.metrics.Coalesced.Inc()
+		if running {
+			// Never queued: it attached straight to a running flight.
+			// Riders attached while the flight waits are observed as
+			// "dispatched" with everyone else when it starts.
+			s.metrics.QueueWait.Observe("coalesced", now.Sub(job.Submitted).Seconds())
+		}
+		s.publish(job.bus, Event{Type: EventQueued, Job: job.ID, Trace: job.Trace, Coalesced: true})
 		s.journalSubmit(job, seqs)
 		s.log.Info("job coalesced onto in-flight computation",
 			"job", job.ID, "key", job.Key, "trace", job.Trace)
@@ -554,12 +573,15 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		opts:       opts,
 		ctx:        fctx,
 		cancel:     fcancel,
+		bus:        s.newEventBus(),
+		enqueued:   now,
 		state:      StateQueued,
 		jobs:       []*Job{job},
 		queuedSlot: true,
 	}
 	job.fl = fl
 	job.Trace = fl.trace
+	job.bus = fl.bus
 	job.state = StateQueued
 	s.inflight[job.Key] = fl
 	s.queued++
@@ -568,6 +590,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 
 	s.metrics.Submitted.Inc()
 	s.metrics.CacheMisses.Inc()
+	s.publish(fl.bus, Event{Type: EventQueued, Job: job.ID, Trace: fl.trace})
 	s.log.Info("job accepted", "job", job.ID, "key", job.Key, "trace", fl.trace,
 		"procs", opts.Procs, "aligner", opts.Aligner, "num_seqs", job.NumSeqs)
 	// Journal before the flight can be dispatched: once the caller sees
@@ -596,6 +619,7 @@ func (s *Server) Submit(seqs []bio.Sequence, o Options) (*Job, error) {
 		for _, w := range jobs {
 			s.finalizeJob(w, StateCanceled, nil, ErrInterrupted, time.Now())
 		}
+		fl.bus.Close()
 		fl.cancel(ErrInterrupted)
 	default:
 		s.fifo = append(s.fifo, fl)
@@ -698,9 +722,10 @@ func (s *Server) cancelJob(j *Job, cause error) bool {
 		s.mu.Unlock()
 		return false
 	}
+	wasQueued := j.state == StateQueued
 	fl := j.fl
 	j.fl = nil
-	var lastDetach bool
+	var lastDetach, flightCanceled bool
 	if fl != nil {
 		for i, w := range fl.jobs {
 			if w == j {
@@ -719,6 +744,7 @@ func (s *Server) cancelJob(j *Job, cause error) bool {
 				// unless a dispatcher already popped it (the slot is
 				// gone and run() will skip the now-canceled flight).
 				fl.state = StateCanceled
+				flightCanceled = true
 				if fl.queuedSlot {
 					for i, qf := range s.fifo {
 						if qf == fl {
@@ -744,6 +770,15 @@ func (s *Server) cancelJob(j *Job, cause error) bool {
 	s.mu.Unlock()
 	if lastDetach {
 		fl.cancel(cause) // unwinds the rank world if running
+	}
+	if wasQueued {
+		s.metrics.QueueWait.Observe("canceled", now.Sub(j.Submitted).Seconds())
+	}
+	s.publish(j.bus, Event{Type: EventCanceled, Job: j.ID, Trace: j.Trace, Error: cause.Error()})
+	if flightCanceled {
+		// The flight died in the queue: no dispatcher will ever run it,
+		// so the stream ends here.
+		fl.bus.Close()
 	}
 	close(j.done)
 	s.metrics.Canceled.Inc()
@@ -797,9 +832,10 @@ func (s *Server) run(fl *flight) {
 			j.started = started
 		}
 		j.mu.Unlock()
-		s.metrics.QueueWait.Observe(started.Sub(j.Submitted).Seconds())
+		s.metrics.QueueWait.Observe("dispatched", started.Sub(j.Submitted).Seconds())
 		s.journalAppend(store.Record{Type: store.RecStart, Job: j.ID, Key: fl.key, Time: started})
 	}
+	s.publish(fl.bus, Event{Type: EventStarted, Trace: fl.trace})
 
 	var (
 		res *Result
@@ -807,15 +843,28 @@ func (s *Server) run(fl *flight) {
 	)
 	if err = fl.ctx.Err(); err == nil {
 		// Tracing: one tracer per flight, its ID shared by every
-		// coalesced job. Finished spans feed the per-stage histograms as
-		// they end; the whole tree is serialized into the result below.
-		// The tracer rides the context — alignment code sees only
-		// obs.Start calls, which are inert when NoTrace leaves it out.
+		// coalesced job. Finished spans feed the per-stage histograms and
+		// the live event stream as they end; the whole tree is serialized
+		// into the result below. The tracer rides the context — alignment
+		// code sees only obs.Start calls, which are inert when NoTrace
+		// leaves it out.
 		ctx := fl.ctx
 		var tr *obs.Tracer
+		var trace []byte
 		if !s.cfg.NoTrace {
-			tr = obs.New(obs.Options{ID: fl.trace, OnSpanEnd: s.metrics.ObserveStage})
+			tr = obs.New(obs.Options{
+				ID:        fl.trace,
+				OnSpanEnd: s.metrics.ObserveStage,
+				OnSpanClose: func(sc obs.SpanClose) {
+					s.publishSpanEvent(fl.bus, fl.trace, sc)
+				},
+			})
 			ctx = obs.WithTracer(ctx, tr)
+			// Published under the lock so the trace endpoint can serve
+			// in-progress snapshots of this flight.
+			s.mu.Lock()
+			fl.tracer = tr
+			s.mu.Unlock()
 		}
 		jctx, root := obs.Start(ctx, "job")
 		if root != nil {
@@ -832,6 +881,15 @@ func (s *Server) run(fl *flight) {
 			root.SetBool("ok", err == nil)
 			root.End()
 		}
+		if tr != nil {
+			doc := tr.Document()
+			s.metrics.TraceDropped.Add(doc.DroppedSpans)
+			if err == nil {
+				if b, derr := json.Marshal(doc); derr == nil {
+					trace = b
+				}
+			}
+		}
 		if err == nil {
 			res = &Result{
 				FASTA:     []byte(fasta.FormatString(aln.Seqs)),
@@ -841,11 +899,7 @@ func (s *Server) run(fl *flight) {
 				BytesSent: rep.BytesSent,
 				BytesRecv: rep.BytesRecv,
 				TraceID:   fl.trace,
-			}
-			if tr != nil {
-				if doc, derr := json.Marshal(tr.Document()); derr == nil {
-					res.Trace = doc
-				}
+				Trace:     trace,
 			}
 			s.metrics.CommSent.Add(rep.BytesSent)
 			s.metrics.CommRecv.Add(rep.BytesRecv)
@@ -879,6 +933,7 @@ func (s *Server) run(fl *flight) {
 		delete(s.inflight, fl.key)
 	}
 	fl.state = outcome
+	fl.tracer = nil // live-snapshot window over; the trace now lives in the result
 	jobs = fl.jobs
 	fl.jobs = nil
 	fl.seqs = nil
@@ -896,6 +951,7 @@ func (s *Server) run(fl *flight) {
 	for _, j := range jobs {
 		s.finalizeJob(j, outcome, res, cause, finished)
 	}
+	fl.bus.Close() // ends every /events stream still riding this flight
 	fl.cancel(nil) // release the context resources
 }
 
@@ -924,6 +980,21 @@ func (s *Server) finalizeJob(j *Job, outcome State, res *Result, cause error, fi
 	s.mu.Lock()
 	j.fl = nil
 	s.mu.Unlock()
+	// Publish before Done closes: an /events subscriber woken by Done
+	// finds its terminal event already buffered (or synthesizes one).
+	ev := Event{Job: j.ID, Trace: j.Trace}
+	switch outcome {
+	case StateDone:
+		ev.Type = EventDone
+	case StateCanceled:
+		ev.Type = EventCanceled
+	default:
+		ev.Type = EventFailed
+	}
+	if cause != nil {
+		ev.Error = cause.Error()
+	}
+	s.publish(j.bus, ev)
 	close(j.done)
 	s.journalFinish(j.ID, j.Key, outcome, cause, summary, finished)
 	switch outcome {
@@ -965,29 +1036,47 @@ func cancelCause(ctx context.Context, err error) error {
 
 // QueueStats is the health endpoint's view of the pool.
 type QueueStats struct {
-	Queued        int   `json:"queued"`
-	Active        int   `json:"active"`
-	MaxQueued     int   `json:"max_queued"`
-	MaxConcurrent int   `json:"max_concurrent"`
-	Draining      bool  `json:"draining,omitempty"`
-	Jobs          int   `json:"jobs_tracked"`
-	CacheEntries  int   `json:"cache_entries"`
-	CacheBytes    int64 `json:"cache_bytes"`
+	Queued          int     `json:"queued"`
+	Active          int     `json:"active"`
+	OldestQueuedAge float64 `json:"oldest_queued_age_s"` // seconds the head-of-line flight has waited; 0 with an empty queue
+	MaxQueued       int     `json:"max_queued"`
+	MaxConcurrent   int     `json:"max_concurrent"`
+	Draining        bool    `json:"draining,omitempty"`
+	Jobs            int     `json:"jobs_tracked"`
+	CacheEntries    int     `json:"cache_entries"`
+	CacheBytes      int64   `json:"cache_bytes"`
 }
 
 // Stats snapshots the queue.
 func (s *Server) Stats() QueueStats {
 	s.mu.Lock()
 	q, a, n, d := s.queued, s.active, len(s.jobs), s.draining
+	var oldest float64
+	if len(s.fifo) > 0 { // FIFO order is admission order: the head waited longest
+		oldest = time.Since(s.fifo[0].enqueued).Seconds()
+	}
 	s.mu.Unlock()
 	return QueueStats{
-		Queued:        q,
-		Active:        a,
-		MaxQueued:     s.cfg.MaxQueued,
-		MaxConcurrent: s.cfg.MaxConcurrent,
-		Draining:      d,
-		Jobs:          n,
-		CacheEntries:  s.cache.Len(),
-		CacheBytes:    s.cache.Bytes(),
+		Queued:          q,
+		Active:          a,
+		OldestQueuedAge: oldest,
+		MaxQueued:       s.cfg.MaxQueued,
+		MaxConcurrent:   s.cfg.MaxConcurrent,
+		Draining:        d,
+		Jobs:            n,
+		CacheEntries:    s.cache.Len(),
+		CacheBytes:      s.cache.Bytes(),
 	}
+}
+
+// liveTracer returns the tracer of the flight the job is riding, while
+// it is actually executing — the source of in-progress trace snapshots.
+// Nil when the job is queued, terminal, detached, or tracing is off.
+func (s *Server) liveTracer(j *Job) *obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.fl == nil {
+		return nil
+	}
+	return j.fl.tracer
 }

@@ -113,8 +113,9 @@ func TestTraceEndpointSpanTree(t *testing.T) {
 	}
 }
 
-// TestTraceEndpointStatuses covers the non-200 paths: unknown job,
-// still-running job, canceled job, and tracing disabled.
+// TestTraceEndpointStatuses covers the non-done paths: unknown job,
+// running job (a live snapshot marked incomplete), queued job (no
+// tracer yet → 409), canceled job, and tracing disabled.
 func TestTraceEndpointStatuses(t *testing.T) {
 	fe := &fakeExec{block: make(chan struct{}), started: make(chan struct{}, 1)}
 	s, ts := httpServer(t, Config{Executor: fe, MaxConcurrent: 1})
@@ -128,12 +129,43 @@ func TestTraceEndpointStatuses(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-fe.started
-	resp, _ := fetchTrace(t, ts.URL+"/v1/jobs/"+job.ID+"/trace")
+	// Running: a live in-progress snapshot, not a 409 — marked by the
+	// X-Trace-Incomplete header, carrying the flight's trace ID and the
+	// still-open job root span.
+	resp, body := fetchTrace(t, ts.URL+"/v1/jobs/"+job.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("running job trace status = %d, want 200: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Trace-Incomplete") == "" {
+		t.Fatal("running job snapshot has no X-Trace-Incomplete header")
+	}
+	var doc obs.Document
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("running job snapshot is not valid JSON: %v", err)
+	}
+	if doc.TraceID != job.Trace {
+		t.Fatalf("snapshot trace_id = %q, want %q", doc.TraceID, job.Trace)
+	}
+	byName := map[string]*obs.SpanDoc{}
+	collectSpans(doc.Spans, byName)
+	if _, ok := byName["job"]; !ok {
+		t.Fatal("no job root span in the in-progress snapshot")
+	}
+
+	// Queued behind the blocked flight: no tracer exists yet → 409.
+	queued, err := s.Submit(testSeqs(7, 40, 11), Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = fetchTrace(t, ts.URL+"/v1/jobs/"+queued.ID+"/trace")
 	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("running job trace status = %d, want 409", resp.StatusCode)
+		t.Fatalf("queued job trace status = %d, want 409", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("409 trace response has no Retry-After")
+	}
+	if _, err := s.Cancel(queued.ID, nil); err != nil {
+		t.Fatal(err)
 	}
 
 	// Cancel the blocked job: its trace answers 410.

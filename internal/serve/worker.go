@@ -12,12 +12,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/fasta"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // WorkerConfig configures one cluster worker daemon.
 type WorkerConfig struct {
 	CtrlAddr string                           // control listen address (coordinator dials this)
 	MeshAddr string                           // fixed rank mesh listen address, advertised per job
+	Metrics  *WorkerMetrics                   // rank-local metrics (-metrics-addr); nil disables
 	Logger   *slog.Logger                     // structured logs; preferred
 	Logf     func(format string, args ...any) // legacy printf sink, used only when Logger is nil
 }
@@ -91,7 +93,12 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig, logge
 		enc.Encode(jobAck{Error: fmt.Sprintf("parsing shard: %v", err)})
 		return fmt.Errorf("parsing shard: %w", err)
 	}
-	logger.Info("worker job starting", "rank", spec.Rank, "procs", len(spec.Addrs), "local_seqs", len(shard))
+	traceID := ""
+	if spec.Trace != nil {
+		traceID = spec.Trace.ID
+	}
+	logger.Info("worker job starting", "rank", spec.Rank, "procs", len(spec.Addrs),
+		"local_seqs", len(shard), "trace", traceID)
 
 	// The control connection doubles as the cancellation channel: the
 	// coordinator closing it (job cancelled, coordinator died) cancels
@@ -124,13 +131,41 @@ func handleWorkerJob(ctx context.Context, conn net.Conn, cfg WorkerConfig, logge
 		case <-commWatch:
 		}
 	}()
-	_, _, runErr := core.AlignContext(jobCtx, comm, shard, spec.Options.CoreConfig())
+	// Rank-local tracing: when the coordinator asked for it, this rank
+	// runs its own tracer under the propagated ID and bounds and ships
+	// the finished tree back in the ack (the coordinator grafts it into
+	// the job's tree). Worker metrics feed off the same spans.
+	runCtx := jobCtx
+	var tr *obs.Tracer
+	if spec.Trace != nil || cfg.Metrics != nil {
+		o := obs.Options{}
+		if spec.Trace != nil {
+			o.ID = spec.Trace.ID
+			o.MaxSpans = spec.Trace.MaxSpans
+			o.SampleDepth = spec.Trace.SampleDepth
+		}
+		if cfg.Metrics != nil {
+			o.OnSpanEnd = cfg.Metrics.ObserveStage
+		}
+		tr = obs.New(o)
+		runCtx = obs.WithTracer(runCtx, tr)
+	}
+	cfg.Metrics.JobStarted()
+	_, _, runErr := core.AlignContext(runCtx, comm, shard, spec.Options.CoreConfig())
 	close(commWatch)
 	_ = comm.Close()
 	if runErr != nil {
+		cfg.Metrics.JobFinished(false)
 		enc.Encode(jobAck{Error: runErr.Error()})
 		return fmt.Errorf("rank %d: %w", spec.Rank, runErr)
 	}
-	logger.Info("worker job done", "rank", spec.Rank)
-	return enc.Encode(jobAck{OK: true})
+	cfg.Metrics.JobFinished(true)
+	ack := jobAck{OK: true}
+	if spec.Trace != nil && tr != nil {
+		if doc, derr := json.Marshal(tr.Document()); derr == nil {
+			ack.Trace = doc
+		}
+	}
+	logger.Info("worker job done", "rank", spec.Rank, "trace", traceID)
+	return enc.Encode(ack)
 }

@@ -10,7 +10,13 @@
 # is smoked end-to-end too: the job's span tree at /v1/jobs/{id}/trace
 # must cover all five pipeline stages with positive durations, the same
 # stages must show up as samplealign_stage_seconds histograms on
-# /metrics, and the persisted trace must survive the restart.
+# /metrics, the live SSE progress stream at /v1/jobs/{id}/events must
+# deliver stage and terminal events, and the persisted trace must
+# survive the restart. A final cluster-mode pass (3 samplealignd
+# workers + coordinator, p=4) asserts the distributed trace covers
+# every rank, the output stays byte-identical to the batch CLI, live
+# events flow during the cluster run, and a worker's -metrics-addr
+# listener serves its rank-local histograms.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +25,7 @@ PORT=${PORT:-18080}
 BASE="http://127.0.0.1:$PORT"
 
 echo "== build =="
-go build -o "$WORK/" ./cmd/samplealign ./cmd/samplealignsrv ./cmd/seqgen
+go build -o "$WORK/" ./cmd/samplealign ./cmd/samplealignsrv ./cmd/samplealignd ./cmd/seqgen
 
 echo "== input + batch reference =="
 "$WORK/seqgen" -kind family -n 80 -len 100 -out "$WORK/in.fa"
@@ -45,6 +51,11 @@ ID=$(echo "$SUBMIT" | json_field id)
 [ -n "$ID" ] || { echo "no job id in: $SUBMIT"; exit 1; }
 echo "job $ID"
 
+# Subscribe to the live event stream while the job runs; the stream
+# replays history and ends itself on the job's terminal event.
+curl -sN --max-time 30 "$BASE/v1/jobs/$ID/events" >"$WORK/events.txt" &
+SSE=$!
+
 echo "== poll =="
 for _ in $(seq 1 600); do
   STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | json_field state)
@@ -60,6 +71,14 @@ echo "== fetch + diff against batch CLI =="
 curl -fsS "$BASE/v1/jobs/$ID/result" -o "$WORK/http.fa"
 diff "$WORK/batch.fa" "$WORK/http.fa"
 echo "byte-identical to samplealign output"
+
+echo "== live events: SSE stream carried the job to its terminal state =="
+wait $SSE || true
+grep -q '^event: stage' "$WORK/events.txt" || { echo "no stage event on the stream"; cat "$WORK/events.txt"; exit 1; }
+grep -q '^event: rank' "$WORK/events.txt" || { echo "no rank event on the stream"; cat "$WORK/events.txt"; exit 1; }
+grep -q '^event: done' "$WORK/events.txt" || { echo "no terminal event on the stream"; cat "$WORK/events.txt"; exit 1; }
+grep -q "\"job\":\"$ID\"" "$WORK/events.txt" || { echo "stream events not tagged with job id"; exit 1; }
+echo "SSE stream delivered stage, rank and terminal events"
 
 echo "== trace: span tree covers every pipeline stage =="
 curl -fsS "$BASE/v1/jobs/$ID/trace" -o "$WORK/trace.json"
@@ -136,5 +155,84 @@ METRICS2=$(curl -fsS "$BASE/metrics")
 echo "$METRICS2" | grep -q '^samplealign_cache_misses_total 0$' || { echo "restart recomputed an alignment"; echo "$METRICS2" | grep ^samplealign_cache; exit 1; }
 echo "$METRICS2" | grep -q '^samplealign_results_streamed_total [1-9]' || { echo "recovered result was not streamed from disk"; exit 1; }
 echo "$METRICS2" | grep -q '^samplealign_store_hits_total [1-9]' || { echo "resubmission did not hit the disk store"; exit 1; }
+
+echo "== cluster mode: 3 workers + coordinator (p=4) =="
+"$WORK/samplealign" -in "$WORK/in.fa" -p 4 -out "$WORK/batch4.fa"
+PORT2=$((PORT + 1))
+BASE2="http://127.0.0.1:$PORT2"
+WM_PORT=$((PORT + 9))
+PIDS="$SRV"
+trap 'kill $PIDS 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+CTRLS=""
+for i in 1 2 3; do
+  METRICS_FLAG=""
+  [ "$i" = 1 ] && METRICS_FLAG="-metrics-addr 127.0.0.1:$WM_PORT"
+  # shellcheck disable=SC2086  # METRICS_FLAG is two words on purpose
+  "$WORK/samplealignd" -worker-ctrl "127.0.0.1:$((PORT + 10 + i))" \
+    -worker-mesh "127.0.0.1:$((PORT + 20 + i))" $METRICS_FLAG 2>"$WORK/worker$i.log" &
+  PIDS="$PIDS $!"
+  CTRLS="$CTRLS,127.0.0.1:$((PORT + 10 + i))"
+done
+"$WORK/samplealignsrv" -addr "127.0.0.1:$PORT2" -cluster "${CTRLS#,}" \
+  -cluster-self "127.0.0.1:$((PORT + 20))" 2>"$WORK/srv-cluster.log" &
+PIDS="$PIDS $!"
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE2/healthz" >/dev/null
+
+CSUBMIT=$(curl -fsS --data-binary @"$WORK/in.fa" "$BASE2/v1/jobs")
+CID=$(echo "$CSUBMIT" | json_field id)
+[ -n "$CID" ] || { echo "no cluster job id in: $CSUBMIT"; exit 1; }
+echo "cluster job $CID"
+curl -sN --max-time 60 "$BASE2/v1/jobs/$CID/events" >"$WORK/cevents.txt" &
+CSSE=$!
+for _ in $(seq 1 600); do
+  CSTATE=$(curl -fsS "$BASE2/v1/jobs/$CID" | json_field state)
+  case "$CSTATE" in
+    done) break ;;
+    failed | canceled)
+      echo "cluster job ended $CSTATE"
+      curl -fsS "$BASE2/v1/jobs/$CID"
+      cat "$WORK/srv-cluster.log"
+      exit 1
+      ;;
+    *) sleep 0.1 ;;
+  esac
+done
+[ "$CSTATE" = done ] || { echo "cluster job stuck in $CSTATE"; exit 1; }
+curl -fsS "$BASE2/v1/jobs/$CID/result" -o "$WORK/cluster.fa"
+diff "$WORK/batch4.fa" "$WORK/cluster.fa"
+echo "cluster output byte-identical to p=4 batch CLI"
+
+echo "== cluster live events =="
+wait $CSSE || true
+grep -q '^event: stage' "$WORK/cevents.txt" || { echo "no stage event on the cluster stream"; cat "$WORK/cevents.txt"; exit 1; }
+grep -q '^event: done' "$WORK/cevents.txt" || { echo "no terminal event on the cluster stream"; cat "$WORK/cevents.txt"; exit 1; }
+grep -q "\"job\":\"$CID\"" "$WORK/cevents.txt" || { echo "cluster stream events not tagged with job id"; exit 1; }
+echo "live SSE events captured during the cluster run"
+
+echo "== distributed trace covers every rank =="
+curl -fsS "$BASE2/v1/jobs/$CID/trace" -o "$WORK/ctrace.json"
+for R in 0 1 2 3; do
+  grep -A1 '"key": "rank"' "$WORK/ctrace.json" | grep -q "\"value\": \"$R\"" \
+    || { echo "rank $R missing from the cluster trace"; exit 1; }
+done
+NWORKERS=$(grep -c '"name": "worker"' "$WORK/ctrace.json")
+[ "$NWORKERS" -eq 3 ] || { echo "cluster trace has $NWORKERS worker spans, want 3"; exit 1; }
+for STAGE in decompose bucketalign merge; do
+  N=$(grep -c "\"name\": \"$STAGE\"" "$WORK/ctrace.json")
+  [ "$N" -eq 4 ] || { echo "stage $STAGE appears $N times in the cluster trace, want one per rank"; exit 1; }
+done
+echo "one span tree over all 4 ranks (3 grafted worker subtrees)"
+
+echo "== worker -metrics-addr listener =="
+WMETRICS=$(curl -fsS "http://127.0.0.1:$WM_PORT/metrics")
+echo "$WMETRICS" | grep -q '^samplealign_worker_jobs_total [1-9]' || { echo "worker served no jobs per its own metrics"; exit 1; }
+echo "$WMETRICS" | grep -q '^samplealign_stage_seconds_count{stage="bucketalign"} [1-9]' \
+  || { echo "no rank-local stage histogram on the worker"; exit 1; }
+echo "$WMETRICS" | grep -q '^samplealign_kernel_striped_calls_total [0-9]' || { echo "no kernel tally on the worker"; exit 1; }
+echo "worker exposes rank-local stage histograms and kernel tallies"
 
 echo "server smoke OK"
