@@ -2,8 +2,11 @@
 // trajectory: it diffs two consecutive BENCH_<PR>.json files (the
 // scripts/bench.sh output) and exits non-zero when a named
 // micro-benchmark's ns/op regressed by more than -max-regress percent,
-// or when the new file's profile-PSP kernel speedup (striped vs
-// scalar, single-thread) fell below -min-psp-speedup.
+// when the new file's profile-PSP kernel speedup (striped vs scalar,
+// single-thread) fell below -min-psp-speedup, or when the journal
+// group-commit benchmark's fsyncs-per-record at concurrency >= 8 is
+// not below -max-journal-fsyncs (concurrent appenders must share
+// commit groups; 1.0 would mean group commit is not batching at all).
 //
 // Usage:
 //
@@ -16,7 +19,11 @@
 // locally generated baseline. Oversubscribed variants (a /workers=N
 // suffix with N above the host core count) are also skipped: their
 // timing is scheduler contention, not kernel speed, and swings far
-// past any useful threshold between runs. The kernel-speedup floor is
+// past any useful threshold between runs. Likewise a benchmark whose
+// own ns_samples within the NEW run spread wider than -max-regress is
+// skipped with a warning: when one binary's samples differ by more
+// than the threshold, a threshold-sized cross-run diff is noise by
+// the benchmark's own measurement, and gating on it just flaps CI. The kernel-speedup floor is
 // a ratio of two single-thread runs from the same file, so it always
 // applies.
 package main
@@ -38,10 +45,12 @@ type benchFile struct {
 		Go    string `json:"go"`
 	} `json:"host"`
 	Gobench []struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name      string    `json:"name"`
+		NsPerOp   float64   `json:"ns_per_op"`
+		NsSamples []float64 `json:"ns_samples"`
 	} `json:"gobench"`
 	KernelSpeedup map[string]float64 `json:"kernel_speedup"`
+	JournalFsyncs map[string]float64 `json:"journal_fsyncs_per_record"`
 }
 
 func load(path string) (*benchFile, error) {
@@ -61,6 +70,8 @@ func main() {
 		"fail when a benchmark's ns/op grew by more than this percent (0 disables)")
 	minPSP := flag.Float64("min-psp-speedup", 2.0,
 		"fail when the new file's ProfilePSP kernel_speedup is below this (0 disables)")
+	maxJournalFsyncs := flag.Float64("max-journal-fsyncs", 1.0,
+		"fail when journal fsyncs-per-record at concurrency >= 8 is not below this (0 disables)")
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] [OLD.json] NEW.json")
@@ -90,6 +101,35 @@ func main() {
 		}
 	}
 
+	if *maxJournalFsyncs > 0 {
+		// The floor is on concurrency >= 8: solo appends legitimately
+		// fsync once per record (the Append contract), so conc=1 is
+		// informational only. The section first appears in PR 10 files;
+		// older baselines without it fail so a silently dropped
+		// benchmark step cannot pass the gate.
+		checked := 0
+		for _, key := range keys(newest.JournalFsyncs) {
+			got := newest.JournalFsyncs[key]
+			if concOf(key) < 8 {
+				continue
+			}
+			checked++
+			if got >= *maxJournalFsyncs {
+				fmt.Printf("FAIL journal_fsyncs_per_record: %s %.4f >= %.2f ceiling — group commit is not batching\n",
+					key, got, *maxJournalFsyncs)
+				failed = true
+			} else {
+				fmt.Printf("ok   journal_fsyncs_per_record: %s %.4f < %.2f ceiling\n",
+					key, got, *maxJournalFsyncs)
+			}
+		}
+		if checked == 0 {
+			fmt.Printf("FAIL journal_fsyncs_per_record: no concurrency >= 8 entry in PR %d file (levels: %v)\n",
+				newest.PR, keys(newest.JournalFsyncs))
+			failed = true
+		}
+	}
+
 	if flag.NArg() == 2 && *maxRegress > 0 {
 		old, err := load(flag.Arg(0))
 		if err != nil {
@@ -104,7 +144,7 @@ func main() {
 			for _, b := range old.Gobench {
 				oldNs[b.Name] = b.NsPerOp
 			}
-			compared, oversub := 0, 0
+			compared, oversub, noisy := 0, 0, 0
 			for _, b := range newest.Gobench {
 				base, ok := oldNs[b.Name]
 				if !ok || base <= 0 {
@@ -112,6 +152,17 @@ func main() {
 				}
 				if w := workersOf(b.Name); w > newest.Host.Cores {
 					oversub++
+					continue
+				}
+				// A benchmark whose own same-binary samples spread wider
+				// than the threshold cannot support a threshold-sized
+				// verdict across two runs: any diff within its spread is
+				// noise, not signal. Skip it like the other incomparable
+				// cases instead of flapping CI.
+				if spr := spread(b.NsSamples); spr > *maxRegress {
+					noisy++
+					fmt.Printf("warn %s skipped: own samples spread %.0f%% > %.0f%% threshold — too noisy to gate\n",
+						b.Name, spr, *maxRegress)
 					continue
 				}
 				compared++
@@ -122,8 +173,8 @@ func main() {
 					failed = true
 				}
 			}
-			fmt.Printf("ok   ns/op diff: %d shared benchmarks (%d oversubscribed skipped), PR %d vs PR %d, threshold +%.0f%%\n",
-				compared, oversub, old.PR, newest.PR, *maxRegress)
+			fmt.Printf("ok   ns/op diff: %d shared benchmarks (%d oversubscribed, %d noisy skipped), PR %d vs PR %d, threshold +%.0f%%\n",
+				compared, oversub, noisy, old.PR, newest.PR, *maxRegress)
 		}
 	}
 
@@ -132,7 +183,43 @@ func main() {
 	}
 }
 
-var workersRe = regexp.MustCompile(`/workers=(\d+)\b`)
+var (
+	workersRe = regexp.MustCompile(`/workers=(\d+)\b`)
+	concRe    = regexp.MustCompile(`^conc=(\d+)$`)
+)
+
+// spread reports a sample set's relative range, (max-min)/min as a
+// percentage — the benchmark's own observed noise within one run (0
+// for files predating the ns_samples field or with a single sample).
+func spread(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return (hi - lo) / lo * 100
+}
+
+// concOf extracts N from a "conc=N" journal-benchmark level key (0
+// when the key has some other shape).
+func concOf(key string) int {
+	m := concRe.FindStringSubmatch(key)
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
 
 // workersOf extracts the worker count from a /workers=N sub-benchmark
 // name (0 when absent, i.e. single-thread benchmarks).

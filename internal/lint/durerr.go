@@ -21,6 +21,8 @@ const (
 //     is the last chance to learn the bytes never hit the disk,
 //   - os.Rename / os.Remove / os.RemoveAll — the atomic-publish and
 //     eviction primitives of the store,
+//   - (*os.File).Chmod / os.Chmod — a dropped chmod before an atomic
+//     rename publishes the file with the temp file's restrictive mode,
 //   - any error-returning function or method declared in
 //     internal/store — the CRC-framed write paths (Journal.Append,
 //     Rewrite, Results.Put, ...),
@@ -81,6 +83,12 @@ func durErrTarget(info *types.Info, call *ast.CallExpr) (string, bool) {
 					if namedIs(sig.Recv().Type(), "os", "File") {
 						return "(*os.File).Sync", true
 					}
+				case "Chmod":
+					// A dropped chmod on a temp file silently publishes a
+					// compacted journal with the tmp file's 0600 mode.
+					if namedIs(sig.Recv().Type(), "os", "File") {
+						return "(*os.File).Chmod", true
+					}
 				case "Close":
 					if len(results) == 1 {
 						return recvTypeName(sig) + ".Close", true
@@ -95,7 +103,7 @@ func durErrTarget(info *types.Info, call *ast.CallExpr) (string, bool) {
 				switch fn.Pkg().Path() {
 				case "os":
 					switch fn.Name() {
-					case "Rename", "Remove", "RemoveAll":
+					case "Rename", "Remove", "RemoveAll", "Chmod":
 						return "os." + fn.Name(), true
 					}
 				case storePkg:

@@ -29,6 +29,18 @@ func renameDiscarded(a, b string) {
 	os.Rename(a, b) // want `os\.Rename error discarded`
 }
 
+func chmodDiscarded(f *os.File) {
+	f.Chmod(0o644) // want `\(\*os\.File\)\.Chmod error discarded`
+}
+
+func osChmodDiscarded(p string) {
+	os.Chmod(p, 0o644) // want `os\.Chmod error discarded`
+}
+
+func chmodHandled(f *os.File) error {
+	return f.Chmod(0o644)
+}
+
 func removeDiscarded(p string) {
 	os.Remove(p) // want `os\.Remove error discarded`
 }

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/fasta"
+	"repro/internal/store"
+)
+
+// BatchItem is one input of a batch submission: a parsed FASTA set and
+// the options it should run under.
+type BatchItem struct {
+	Seqs []bio.Sequence
+	Opts Options
+}
+
+// SubmitBatch admits many independent submissions as one atomic unit.
+// Each item behaves exactly like a single Submit — cache tiers answer
+// hits instantly, identical in-flight computations (including
+// duplicates inside the batch itself) coalesce — but admission is
+// all-or-nothing: either every item that needs a queue slot gets one or
+// the whole batch is rejected with ErrOverloaded and no state changes.
+// The accepted batch is journaled as one commit group, so either every
+// member is durable or none is. Returned jobs are in item order.
+func (s *Server) SubmitBatch(items []BatchItem) ([]*Job, error) {
+	if len(items) == 0 {
+		return nil, badRequest("batch has no inputs")
+	}
+	s.mu.Lock()
+	stopped := s.closed || s.draining
+	s.mu.Unlock()
+	if stopped {
+		return nil, ErrClosed
+	}
+
+	// Validate everything before admitting anything: a bad input
+	// rejects the whole batch with its index, never a partial accept.
+	now := time.Now()
+	jobs := make([]*Job, len(items))
+	for i, it := range items {
+		opts, err := resolve(it.Opts, s.cfg.Defaults, s.cfg.Limits, s.cfg.Executor.FixedProcs())
+		if err != nil {
+			return nil, badRequest("input %d: %v", i, err)
+		}
+		if len(it.Seqs) == 0 {
+			return nil, badRequest("input %d: no sequences in input", i)
+		}
+		seen := make(map[string]bool, len(it.Seqs))
+		for _, sq := range it.Seqs {
+			if seen[sq.ID] {
+				return nil, badRequest("input %d: duplicate sequence id %q (ids must be unique)", i, sq.ID)
+			}
+			seen[sq.ID] = true
+			if len(sq.Data) == 0 {
+				return nil, badRequest("input %d: sequence %q is empty", i, sq.ID)
+			}
+		}
+		jobs[i] = &Job{
+			ID:        newJobID(),
+			Key:       CacheKey(it.Seqs, opts),
+			Opts:      opts,
+			Submitted: now,
+			NumSeqs:   len(it.Seqs),
+			done:      make(chan struct{}),
+		}
+	}
+
+	// Cache tiers: hits complete instantly and take no queue slot. The
+	// hit jobs are fully built before they become visible, so a
+	// rejection below leaves no trace of them.
+	hits := make([]*Result, len(items))
+	for i, job := range jobs {
+		if res, ok := s.lookupResult(job.Key); ok {
+			hits[i] = res
+			job.Trace = res.TraceID
+			job.state = StateDone
+			job.cached = true
+			job.result = s.retainedResult(res)
+			job.started, job.finished = now, now
+			job.bus = s.newEventBus()
+			s.publish(job.bus, Event{Type: EventDone, Job: job.ID, Trace: job.Trace, Cached: true})
+			job.bus.Close()
+			close(job.done)
+		}
+	}
+
+	// All-or-nothing admission: count the queue slots the batch needs —
+	// one per distinct content address that is neither a cache hit nor
+	// already in flight — and take them atomically against MaxQueued.
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	need := 0
+	distinct := make(map[string]bool)
+	for i, job := range jobs {
+		if hits[i] != nil || s.inflight[job.Key] != nil || distinct[job.Key] {
+			continue
+		}
+		distinct[job.Key] = true
+		need++
+	}
+	if need > s.cfg.MaxQueued {
+		s.mu.Unlock()
+		s.metrics.Rejected.Inc()
+		s.metrics.BatchRejected.Inc()
+		return nil, badRequest("batch needs %d queue slots but the server admits at most %d", need, s.cfg.MaxQueued)
+	}
+	if s.queued+need > s.cfg.MaxQueued {
+		s.mu.Unlock()
+		s.metrics.Rejected.Inc()
+		s.metrics.BatchRejected.Inc()
+		return nil, ErrOverloaded
+	}
+	var newFlights []*flight
+	coalesced := make([]bool, len(items))
+	ranAtAttach := make([]bool, len(items))
+	for i, job := range jobs {
+		if hits[i] != nil {
+			s.rememberLocked(job)
+			continue
+		}
+		if fl := s.inflight[job.Key]; fl != nil {
+			// Rides an existing flight — possibly one created by an
+			// earlier item of this same batch.
+			job.coalesced = true
+			coalesced[i] = true
+			job.Trace = fl.trace
+			job.fl = fl
+			job.bus = fl.bus
+			fl.jobs = append(fl.jobs, job)
+			job.state = StateQueued
+			if fl.state == StateRunning {
+				job.state = StateRunning
+				job.started = now
+				ranAtAttach[i] = true
+			}
+			s.rememberLocked(job)
+			continue
+		}
+		fctx, fcancel := context.WithCancelCause(s.baseCtx)
+		fl := &flight{
+			key:        job.Key,
+			trace:      newTraceID(),
+			seqs:       items[i].Seqs,
+			opts:       job.Opts,
+			ctx:        fctx,
+			cancel:     fcancel,
+			bus:        s.newEventBus(),
+			enqueued:   now,
+			state:      StateQueued,
+			jobs:       []*Job{job},
+			queuedSlot: true,
+		}
+		job.fl = fl
+		job.Trace = fl.trace
+		job.bus = fl.bus
+		job.state = StateQueued
+		s.inflight[job.Key] = fl
+		s.queued++
+		newFlights = append(newFlights, fl)
+		s.rememberLocked(job)
+	}
+	s.mu.Unlock()
+
+	// Metrics, progress events and the journal group. The whole batch
+	// rides one AppendBatch: a crash leaves either every member
+	// replayable or none, never half a batch.
+	s.metrics.BatchSubmitted.Inc()
+	s.metrics.BatchJobs.Add(int64(len(jobs)))
+	records := make([]store.Record, 0, len(jobs)+1)
+	for i, job := range jobs {
+		s.metrics.Submitted.Inc()
+		switch {
+		case hits[i] != nil:
+			s.metrics.CacheHits.Inc()
+			s.metrics.Completed.Inc()
+			// journalTerminalJob's record pair (finish first), folded
+			// into the batch group.
+			records = append(records,
+				finishRecord(job.ID, job.Key, StateDone, "", metaOf(job.result), job.finished),
+				submitRecord(job.ID, job.Key, job.Submitted,
+					submitData{Opts: job.Opts, NumSeqs: job.NumSeqs, Cached: true}))
+		default:
+			if coalesced[i] {
+				s.metrics.Coalesced.Inc()
+				if ranAtAttach[i] {
+					s.metrics.QueueWait.Observe("coalesced", now.Sub(job.Submitted).Seconds())
+				}
+			} else {
+				s.metrics.CacheMisses.Inc()
+			}
+			s.publish(job.bus, Event{Type: EventQueued, Job: job.ID, Trace: job.Trace, Coalesced: job.coalesced})
+			records = append(records, submitRecord(job.ID, job.Key, job.Submitted, submitData{
+				Opts:      job.Opts,
+				NumSeqs:   job.NumSeqs,
+				FASTA:     []byte(fasta.FormatString(items[i].Seqs)),
+				Coalesced: job.coalesced,
+			}))
+		}
+	}
+	s.journalAppendBatch(records)
+	s.log.Info("batch accepted", "jobs", len(jobs), "new_flights", len(newFlights))
+
+	// Enqueue the new flights, with the same closed-race handling as
+	// Submit: a shutdown that raced the journal write interrupts them
+	// (the next boot re-enqueues) instead of leaving them undispatched.
+	type casualty struct {
+		fl   *flight
+		jobs []*Job
+	}
+	var casualties []casualty
+	s.mu.Lock()
+	for _, fl := range newFlights {
+		switch {
+		case fl.state != StateQueued:
+			// Canceled while the batch group was being journaled; it was
+			// never in the fifo, so nothing to remove.
+		case s.closed:
+			fl.state = StateCanceled
+			fl.queuedSlot = false
+			s.queued--
+			if s.inflight[fl.key] == fl {
+				delete(s.inflight, fl.key)
+			}
+			casualties = append(casualties, casualty{fl: fl, jobs: fl.jobs})
+			fl.jobs = nil
+		default:
+			s.fifo = append(s.fifo, fl)
+			s.cond.Signal()
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range casualties {
+		for _, w := range c.jobs {
+			s.finalizeJob(w, StateCanceled, nil, ErrInterrupted, time.Now())
+		}
+		c.fl.bus.Close()
+		c.fl.cancel(ErrInterrupted)
+	}
+	for _, job := range jobs {
+		s.armDeadline(job, now)
+	}
+	return jobs, nil
+}
+
+// BatchRequest is the JSON body of POST /v1/batch: many FASTA inputs
+// submitted in one request. Request-level Options apply to every input
+// that does not set its own; query parameters overlay both.
+type BatchRequest struct {
+	Inputs  []SubmitRequest `json:"inputs"`
+	Options Options         `json:"options"`
+}
+
+// BatchResponse lists the per-input jobs in input order.
+type BatchResponse struct {
+	Jobs []JobView `json:"jobs"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil {
+		submitError(w, badRequest("reading body: %v", err))
+		return
+	}
+	if len(body) > MaxRequestBytes {
+		submitError(w, badRequest("request body exceeds %d bytes", MaxRequestBytes))
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		submitError(w, badRequest("decoding JSON body: %v", err))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		submitError(w, badRequest("batch has no inputs"))
+		return
+	}
+	items := make([]BatchItem, len(req.Inputs))
+	for i, in := range req.Inputs {
+		o := in.Options
+		if o == (Options{}) {
+			o = req.Options
+		}
+		if err := optionsFromQuery(r, &o); err != nil {
+			submitError(w, err)
+			return
+		}
+		seqs, err := fasta.Read(strings.NewReader(in.FASTA))
+		if err != nil {
+			submitError(w, badRequest("input %d: parsing FASTA: %v", i, err))
+			return
+		}
+		items[i] = BatchItem{Seqs: seqs, Opts: o}
+	}
+	jobs, err := s.SubmitBatch(items)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	resp := BatchResponse{Jobs: make([]JobView, len(jobs))}
+	code := http.StatusOK
+	for i, job := range jobs {
+		resp.Jobs[i] = job.View()
+		if !resp.Jobs[i].State.Terminal() {
+			code = http.StatusAccepted // at least one job still pending
+		}
+	}
+	writeJSON(w, code, resp)
+}

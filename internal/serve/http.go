@@ -32,6 +32,9 @@ type SubmitRequest struct {
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs             submit (async) → 202 + job status JSON
+//	POST   /v1/batch            submit many inputs in one request (JSON,
+//	                            all-or-nothing admission, one journal
+//	                            commit group) → per-input job statuses
 //	GET    /v1/jobs/{id}        status JSON
 //	GET    /v1/jobs/{id}/result aligned FASTA
 //	GET    /v1/jobs/{id}/trace  span-tree JSON of the pipeline run (a live
@@ -46,6 +49,7 @@ type SubmitRequest struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -491,6 +495,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if s.journal != nil {
 			persist.JournalRecords = s.journal.Records()
 			persist.JournalBytes = s.journal.Bytes()
+			persist.JournalFsyncs = s.journal.Flushes()
+			persist.JournalFlushedRecords = s.journal.FlushedRecords()
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -24,15 +24,20 @@ type Metrics struct {
 	Interrupted stats.Counter // jobs hard-canceled by shutdown (journaled for requeue at next boot)
 	Draining    stats.Gauge   // 1 while the server refuses new submissions to drain
 
+	BatchSubmitted stats.Counter // POST /v1/batch requests admitted
+	BatchJobs      stats.Counter // jobs admitted via batch requests
+	BatchRejected  stats.Counter // batch requests rejected whole (all-or-nothing admission)
+
 	CommSent stats.Counter // MPI payload bytes sent across all finished jobs
 	CommRecv stats.Counter // MPI payload bytes received across all finished jobs
 
 	TraceDropped  stats.Counter // spans dropped at the tracer's MaxSpans bound (remote drops folded in)
 	EventsDropped stats.Counter // live-stream events dropped on slow subscribers
 
-	QueueWait  *stats.LabeledHistograms // seconds from submit to leaving the queue, by outcome (dispatched/canceled/coalesced)
-	RunSeconds *stats.LatencyHistogram  // execution wall-clock
-	Stages     *stats.LabeledHistograms // per-pipeline-stage wall-clock, fed by trace spans
+	QueueWait    *stats.LabeledHistograms // seconds from submit to leaving the queue, by outcome (dispatched/canceled/coalesced)
+	RunSeconds   *stats.LatencyHistogram  // execution wall-clock
+	Stages       *stats.LabeledHistograms // per-pipeline-stage wall-clock, fed by trace spans
+	GroupRecords *stats.LatencyHistogram  // records per journal commit group, fed by the journal's flush hook
 }
 
 // NewMetrics builds the metric set with the default latency bounds.
@@ -41,6 +46,9 @@ func NewMetrics() *Metrics {
 		QueueWait:  stats.MustLabeledHistograms(stats.DefaultLatencyBounds()),
 		RunSeconds: stats.MustLatencyHistogram(stats.DefaultLatencyBounds()),
 		Stages:     stats.MustLabeledHistograms(stats.DefaultLatencyBounds()),
+		// Power-of-two record counts: group commit is interesting in
+		// exactly how far above 1 record per fsync it gets.
+		GroupRecords: stats.MustLatencyHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}
 }
 
@@ -72,6 +80,10 @@ type PersistGauges struct {
 	StoreEvictions int64
 	JournalRecords int64
 	JournalBytes   int64
+	// Group-commit counters: fsyncs ÷ flushed records is the realized
+	// fsyncs-per-record (1.0 means no batching is happening).
+	JournalFsyncs         int64
+	JournalFlushedRecords int64
 }
 
 // Render writes the Prometheus text exposition, folding in the queue,
@@ -104,6 +116,9 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 	counter("samplealign_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.Coalesced.Value())
 	counter("samplealign_jobs_recovered_total", "Jobs re-enqueued by journal replay at startup.", m.Recovered.Value())
 	counter("samplealign_jobs_interrupted_total", "Jobs hard-canceled by shutdown, journaled for requeue at next boot.", m.Interrupted.Value())
+	counter("samplealign_batch_requests_total", "POST /v1/batch requests admitted.", m.BatchSubmitted.Value())
+	counter("samplealign_batch_jobs_total", "Jobs admitted via batch requests.", m.BatchJobs.Value())
+	counter("samplealign_batch_rejected_total", "Batch requests rejected whole by all-or-nothing admission.", m.BatchRejected.Value())
 	counter("samplealign_cache_hits_total", "Submissions answered from the result cache tiers.", m.CacheHits.Value())
 	counter("samplealign_cache_misses_total", "Submissions that started a new computation.", m.CacheMisses.Value())
 	counter("samplealign_cache_evictions_total", "Results evicted from the in-memory cache.", evictions)
@@ -125,6 +140,8 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 		counter("samplealign_store_evictions_total", "Results evicted from the on-disk store.", persist.StoreEvictions)
 		gauge("samplealign_journal_records", "Records in the write-ahead journal.", persist.JournalRecords)
 		gauge("samplealign_journal_bytes", "Size of the write-ahead journal.", persist.JournalBytes)
+		counter("samplealign_journal_fsyncs_total", "Journal write+fsync cycles (one per commit group).", persist.JournalFsyncs)
+		counter("samplealign_journal_flushed_records_total", "Journal records made durable by group commits.", persist.JournalFlushedRecords)
 	}
 	m.QueueWait.WritePrometheus(&b, "samplealign_job_queue_wait_seconds",
 		"Seconds from submit to leaving the queue, by outcome (dispatched, canceled, coalesced).", "outcome")
@@ -132,6 +149,8 @@ func (m *Metrics) Render(q QueueStats, evictions int64, persist *PersistGauges) 
 		"Execution wall-clock seconds per job.")
 	m.Stages.WritePrometheus(&b, "samplealign_stage_seconds",
 		"Wall-clock seconds per pipeline stage, one observation per traced span.", "stage")
+	m.GroupRecords.Snapshot().WritePrometheus(&b, "samplealign_journal_group_records",
+		"Records per journal commit group (each group costs one fsync).")
 	return b.String()
 }
 

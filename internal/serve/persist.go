@@ -145,7 +145,13 @@ func (s *Server) openPersistence() error {
 			return fmt.Errorf("serve: opening trace store: %w", err)
 		}
 	}
-	journal, recs, err := store.OpenJournal(filepath.Join(dir, "journal.wal"))
+	journal, recs, err := store.OpenJournalOptions(filepath.Join(dir, "journal.wal"), store.JournalOptions{
+		MaxBatchBytes: s.cfg.JournalBatchBytes,
+		MaxWait:       s.cfg.JournalBatchWait,
+		OnFlush: func(records, bytes int64) {
+			s.metrics.GroupRecords.Observe(float64(records))
+		},
+	})
 	if err != nil {
 		s.unlockDir()
 		s.unlockDir = nil
@@ -165,6 +171,19 @@ func (s *Server) journalAppend(rec store.Record) {
 	}
 	if err := s.journal.Append(rec); err != nil {
 		s.log.Warn("journal append failed", "type", string(rec.Type), "job", rec.Job, "err", err)
+	}
+}
+
+// journalAppendBatch best-effort appends a record group covered by a
+// single fsync (store.Journal.AppendBatch): either every record in it
+// becomes durable or none does. Like journalAppend, an I/O error
+// degrades durability, not service.
+func (s *Server) journalAppendBatch(recs []store.Record) {
+	if s.journal == nil || len(recs) == 0 {
+		return
+	}
+	if err := s.journal.AppendBatch(recs); err != nil {
+		s.log.Warn("journal batch append failed", "records", len(recs), "err", err)
 	}
 }
 

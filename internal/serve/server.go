@@ -109,6 +109,15 @@ type Config struct {
 	StoreEntries int   // disk store entry bound (default 4096; -1 disables the disk result tier)
 	StoreBytes   int64 // disk store byte bound (default 1 GiB; -1 unbounded)
 
+	// JournalBatchBytes and JournalBatchWait tune the journal's group
+	// commit (store.JournalOptions): the framed bytes one commit group
+	// accumulates before spilling to the next, and how long a group
+	// leader waits for followers before fsyncing. Zero means the store
+	// defaults (1 MiB, no wait — batching then comes purely from
+	// appenders piling up behind in-flight flushes).
+	JournalBatchBytes int
+	JournalBatchWait  time.Duration
+
 	// Logger receives structured operational logs (job lifecycle,
 	// journal I/O errors, recovery notes), keyed by job/trace IDs. When
 	// nil, the legacy Logf sink is adapted; with neither, silent.
@@ -825,6 +834,7 @@ func (s *Server) run(fl *flight) {
 	s.mu.Unlock()
 
 	started := time.Now()
+	startRecs := make([]store.Record, 0, len(jobs))
 	for _, j := range jobs {
 		j.mu.Lock()
 		if !j.state.Terminal() {
@@ -833,8 +843,10 @@ func (s *Server) run(fl *flight) {
 		}
 		j.mu.Unlock()
 		s.metrics.QueueWait.Observe("dispatched", started.Sub(j.Submitted).Seconds())
-		s.journalAppend(store.Record{Type: store.RecStart, Job: j.ID, Key: fl.key, Time: started})
+		startRecs = append(startRecs, store.Record{Type: store.RecStart, Job: j.ID, Key: fl.key, Time: started})
 	}
+	// One fsync covers every coalesced job's start record.
+	s.journalAppendBatch(startRecs)
 	s.publish(fl.bus, Event{Type: EventStarted, Trace: fl.trace})
 
 	var (

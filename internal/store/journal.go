@@ -3,12 +3,17 @@
 // on-disk result store.
 //
 // The journal is an append-only file of length-prefixed, CRC-checked
-// records, fsync'd per append. Opening it replays every intact record
-// and truncates a torn or corrupt tail (the expected shape of a crash
-// mid-write), so the service can reconstruct its job table and
-// re-enqueue journaled-but-unfinished work. Rewrite compacts the file
-// atomically (temp file + rename) once the replayed state has been
-// folded into fresh records.
+// records, made durable by group commit: concurrent appenders enqueue
+// frames into a shared flush group and the first member (the leader)
+// writes and fsyncs the whole group at once, so fsyncs-per-record
+// drops below one under concurrency while Append keeps its contract —
+// it returns nil only after its record's group is on disk. Opening
+// the journal replays every intact record and truncates a torn or
+// corrupt tail (the expected shape of a crash mid-write), so the
+// service can reconstruct its job table and re-enqueue
+// journaled-but-unfinished work. Rewrite compacts the file atomically
+// (temp file + rename) once the replayed state has been folded into
+// fresh records.
 //
 // The result store keeps one file per content address (the service's
 // SHA-256 cache key), written atomically and checksummed, bounded by
@@ -62,27 +67,113 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // maxRecordBytes rejects absurd length prefixes during replay; a frame
 // this large is corruption, not data (submit payloads are bounded by
-// the HTTP request cap far below this).
+// the HTTP request cap far below this). Append enforces the same limit
+// on the way in — a record replay would refuse to read must never be
+// reported durable.
 const maxRecordBytes = 1 << 30
+
+// Group-commit defaults: a group stops accepting joiners once it holds
+// this many framed bytes or records. Both are far above what a flush
+// can accumulate on a healthy disk; they bound memory, not batching.
+const (
+	DefaultMaxBatchBytes   = 1 << 20
+	DefaultMaxBatchRecords = 512
+)
+
+// ErrRecordTooLarge is wrapped by Append/AppendBatch when a record's
+// encoded payload exceeds the journal's record size limit. Nothing is
+// written: an oversized frame would be acknowledged as durable and
+// then silently discarded — along with every record after it — by the
+// next replay.
+var ErrRecordTooLarge = errors.New("store: record exceeds the journal record size limit")
+
+var errJournalClosed = errors.New("store: journal is closed")
+
+// JournalOptions tunes the journal's group-commit behavior. The zero
+// value is valid: no artificial wait, limits at their defaults.
+type JournalOptions struct {
+	// MaxBatchBytes caps the framed bytes one flush group accumulates
+	// before later appenders spill to the next group. <= 0 means
+	// DefaultMaxBatchBytes. A single AppendBatch call is atomic and may
+	// exceed the cap in a group of its own.
+	MaxBatchBytes int
+	// MaxBatchRecords caps the records per flush group. <= 0 means
+	// DefaultMaxBatchRecords.
+	MaxBatchRecords int
+	// MaxWait is how long a group leader waits for followers before
+	// flushing a group that is not yet full; it bounds the extra
+	// latency an isolated Append pays. 0 flushes immediately — groups
+	// still form naturally while a flush is in flight, because
+	// appenders arriving during it pile into the next group.
+	MaxWait time.Duration
+	// MaxRecordBytes rejects any single record whose encoded payload
+	// exceeds it. <= 0 means the replay limit (1 GiB); larger values
+	// are clamped to the replay limit, which replay would enforce by
+	// discarding the record anyway.
+	MaxRecordBytes int
+	// OnFlush, if set, is called after each durable flush with the
+	// records and framed bytes in the flushed group. Called without
+	// journal locks held; it must not call back into the journal.
+	OnFlush func(records, bytes int64)
+}
+
+// jgroup is one commit group: concatenated frames from every appender
+// that joined it, written and fsync'd as a unit by its leader.
+type jgroup struct {
+	buf    []byte
+	recs   int64
+	full   chan struct{} // closed when the group stops accepting joiners
+	sealed bool
+	done   chan struct{} // closed after the flush; err is valid then
+	err    error
+}
 
 // Journal is the append-only write-ahead log. All methods are
 // goroutine-safe.
 type Journal struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // signals: group detached, flush finished, file closed
 	f       *os.File
 	path    string
-	records int64
-	bytes   int64
+	records int64 // durable records (replayed + flushed)
+	bytes   int64 // durable bytes; equals the file size while the tail is clean
+
+	maxBatchBytes   int
+	maxBatchRecords int64
+	maxWait         time.Duration
+	maxRecordBytes  int
+	onFlush         func(records, bytes int64)
+
+	cur      *jgroup // open group accepting joiners, nil if none
+	flushing bool    // a leader owns the file tail
+	failed   error   // sticky: a failed flush left the tail untrustworthy
+
+	flushes        int64 // write+fsync cycles since open
+	flushedRecords int64 // records made durable by those flushes
 }
 
-// OpenJournal opens (creating if needed) the journal at path, replays
-// every intact record, truncates any corrupt or torn tail so that
-// subsequent appends extend a clean prefix, and leaves the file open
-// for appending.
+// OpenJournal opens the journal at path with default options. See
+// OpenJournalOptions.
 func OpenJournal(path string) (*Journal, []Record, error) {
+	return OpenJournalOptions(path, JournalOptions{})
+}
+
+// OpenJournalOptions opens (creating if needed) the journal at path,
+// replays every intact record, truncates any corrupt or torn tail so
+// that subsequent appends extend a clean prefix, and leaves the file
+// open for appending. Creating the journal fsyncs its parent
+// directory: without that, a crash shortly after boot could drop the
+// directory entry — and with it every record already acknowledged as
+// durable.
+func OpenJournalOptions(path string, o JournalOptions) (*Journal, []Record, error) {
+	_, statErr := os.Stat(path)
+	created := errors.Is(statErr, os.ErrNotExist)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
+	}
+	if created {
+		syncDir(filepath.Dir(path))
 	}
 	recs, goodOff, err := replay(f)
 	if err != nil {
@@ -105,7 +196,28 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 		_ = f.Close()
 		return nil, nil, err
 	}
-	return &Journal{f: f, path: path, records: int64(len(recs)), bytes: goodOff}, recs, nil
+	j := &Journal{
+		f:               f,
+		path:            path,
+		records:         int64(len(recs)),
+		bytes:           goodOff,
+		maxBatchBytes:   o.MaxBatchBytes,
+		maxBatchRecords: int64(o.MaxBatchRecords),
+		maxWait:         o.MaxWait,
+		maxRecordBytes:  o.MaxRecordBytes,
+		onFlush:         o.OnFlush,
+	}
+	if j.maxBatchBytes <= 0 {
+		j.maxBatchBytes = DefaultMaxBatchBytes
+	}
+	if j.maxBatchRecords <= 0 {
+		j.maxBatchRecords = DefaultMaxBatchRecords
+	}
+	if j.maxRecordBytes <= 0 || j.maxRecordBytes > maxRecordBytes {
+		j.maxRecordBytes = maxRecordBytes
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j, recs, nil
 }
 
 // replay scans framed records from the start of f, returning every
@@ -154,11 +266,15 @@ func replay(f *os.File) ([]Record, int64, error) {
 	}
 }
 
-// frame encodes one record as [len][crc][payload].
-func frame(rec Record) ([]byte, error) {
+// frame encodes one record as [len][crc][payload], rejecting payloads
+// over limit.
+func frame(rec Record, limit int) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return nil, err
+	}
+	if len(payload) > limit {
+		return nil, fmt.Errorf("%w: %d > %d payload bytes", ErrRecordTooLarge, len(payload), limit)
 	}
 	buf := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
@@ -167,27 +283,182 @@ func frame(rec Record) ([]byte, error) {
 	return buf, nil
 }
 
-// Append writes one record and fsyncs: when Append returns nil the
-// record survives a crash.
+// Append writes one record durably: when Append returns nil the record
+// survives a crash. Under concurrency the record shares its fsync with
+// whatever commit group it lands in; alone, it pays at most MaxWait of
+// added latency (none with the default options).
 func (j *Journal) Append(rec Record) error {
-	buf, err := frame(rec)
+	buf, err := frame(rec, j.maxRecordBytes)
 	if err != nil {
 		return err
 	}
+	return j.commit(buf, 1)
+}
+
+// AppendBatch writes recs as one atomic unit of a commit group: all of
+// them are covered by the same fsync, and either every record is
+// enqueued or none is (an oversized member rejects the whole batch
+// before any bytes are staged). A nil return means every record in the
+// batch is durable.
+func (j *Journal) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		b, err := frame(rec, j.maxRecordBytes)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
+	return j.commit(buf, int64(len(recs)))
+}
+
+// commit enqueues one already-framed unit (n records) into a commit
+// group and blocks until that group is durable or failed. The first
+// appender to open a group is its leader: it waits up to MaxWait for
+// followers, then performs one write+fsync for the whole group.
+// Appenders arriving while a flush is in flight accumulate into the
+// next group, which is what drives fsyncs-per-record below one under
+// concurrency even with MaxWait zero.
+func (j *Journal) commit(buf []byte, n int64) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("store: journal is closed")
+	for {
+		if j.failed != nil {
+			err := j.failed
+			j.mu.Unlock()
+			return err
+		}
+		if j.f == nil {
+			j.mu.Unlock()
+			return errJournalClosed
+		}
+		g := j.cur
+		if g == nil {
+			// Open a new group and lead it. A unit larger than the
+			// group bounds still commits — it just rides alone.
+			g = &jgroup{full: make(chan struct{}), done: make(chan struct{})}
+			g.buf = append(g.buf, buf...)
+			g.recs = n
+			j.cur = g
+			if len(g.buf) >= j.maxBatchBytes || g.recs >= j.maxBatchRecords {
+				j.seal(g)
+			}
+			j.mu.Unlock()
+			j.lead(g)
+			return g.err
+		}
+		if int64(len(g.buf))+int64(len(buf)) <= int64(j.maxBatchBytes) &&
+			g.recs+n <= j.maxBatchRecords {
+			// Join the open group and wait for its leader's fsync.
+			g.buf = append(g.buf, buf...)
+			g.recs += n
+			if g.recs >= j.maxBatchRecords {
+				j.seal(g)
+			}
+			j.mu.Unlock()
+			<-g.done
+			return g.err
+		}
+		// The open group can't fit this unit: hurry its leader along
+		// and wait for the slot to reopen.
+		j.seal(g)
+		j.cond.Wait()
 	}
-	if _, err := j.f.Write(buf); err != nil {
-		return err
+}
+
+// seal closes a group to new joiners and releases a leader waiting on
+// MaxWait. Callers must hold j.mu.
+func (j *Journal) seal(g *jgroup) {
+	if !g.sealed {
+		g.sealed = true
+		close(g.full)
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
+}
+
+// lead runs the leader side of one commit group: wait for followers,
+// detach the group, flush it with a single write+fsync, publish the
+// outcome. Groups flush strictly in the order they were opened — a new
+// group can only form after this one detaches, and detaching requires
+// the previous flush to have finished.
+func (j *Journal) lead(g *jgroup) {
+	if j.maxWait > 0 {
+		t := time.NewTimer(j.maxWait)
+		select {
+		case <-g.full:
+		case <-t.C:
+		}
+		t.Stop()
 	}
-	j.records++
-	j.bytes += int64(len(buf))
-	return nil
+	j.mu.Lock()
+	for j.flushing {
+		j.cond.Wait()
+	}
+	if j.cur == g {
+		j.cur = nil
+	}
+	j.seal(g)
+	j.cond.Broadcast() // spilled appenders may open the next group
+	if j.failed != nil || j.f == nil {
+		err := j.failed
+		if err == nil {
+			err = errJournalClosed
+		}
+		j.mu.Unlock()
+		g.err = err
+		close(g.done)
+		return
+	}
+	f := j.f
+	durable := j.bytes
+	buf, recs := g.buf, g.recs
+	j.flushing = true
+	j.mu.Unlock()
+
+	var flushErr, poison error
+	if _, werr := f.Write(buf); werr != nil {
+		// A short or failed write leaves a torn frame at the tail.
+		// Restore the clean prefix so later appends stay replayable; if
+		// even that fails, poison the journal — appending past a torn
+		// frame would write records replay can never reach.
+		flushErr = werr
+		terr := f.Truncate(durable)
+		if terr == nil {
+			_, terr = f.Seek(durable, io.SeekStart)
+		}
+		if terr != nil {
+			poison = fmt.Errorf("store: journal tail unrecoverable after failed write (%v): %w", terr, werr)
+		}
+	} else if serr := f.Sync(); serr != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages; nothing written since the last successful fsync can be
+		// trusted, and retrying cannot bring it back.
+		flushErr = serr
+		poison = fmt.Errorf("store: journal poisoned by fsync failure: %w", serr)
+	}
+
+	j.mu.Lock()
+	j.flushing = false
+	if poison != nil && j.failed == nil {
+		j.failed = poison
+	}
+	var hook func(records, bytes int64)
+	if flushErr == nil {
+		j.records += recs
+		j.bytes += int64(len(buf))
+		j.flushes++
+		j.flushedRecords += recs
+		hook = j.onFlush
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	if hook != nil {
+		hook(recs, int64(len(buf)))
+	}
+	g.err = flushErr
+	close(g.done)
 }
 
 // Rewrite atomically replaces the journal's contents with recs
@@ -197,8 +468,14 @@ func (j *Journal) Append(rec Record) error {
 func (j *Journal) Rewrite(recs []Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.flushing {
+		j.cond.Wait()
+	}
 	if j.f == nil {
-		return errors.New("store: journal is closed")
+		return errJournalClosed
+	}
+	if j.failed != nil {
+		return j.failed
 	}
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, ".journal-*")
@@ -212,7 +489,7 @@ func (j *Journal) Rewrite(recs []Record) error {
 	}
 	var total int64
 	for _, rec := range recs {
-		buf, err := frame(rec)
+		buf, err := frame(rec, j.maxRecordBytes)
 		if err != nil {
 			return fail(err)
 		}
@@ -224,7 +501,11 @@ func (j *Journal) Rewrite(recs []Record) error {
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
-	tmp.Chmod(0o644) // CreateTemp defaults to 0600
+	// CreateTemp defaults to 0600; the journal must stay readable by
+	// the same principals as before the compaction.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fail(err)
 	}
@@ -240,35 +521,61 @@ func (j *Journal) Rewrite(recs []Record) error {
 	return nil
 }
 
-// Records returns the number of records in the journal (replayed plus
-// appended since open).
+// Records returns the number of durable records in the journal
+// (replayed plus flushed since open).
 func (j *Journal) Records() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.records
 }
 
-// Bytes returns the journal's size in bytes.
+// Bytes returns the journal's durable size in bytes.
 func (j *Journal) Bytes() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.bytes
 }
 
+// Flushes returns the number of write+fsync cycles since open. With
+// group commit this is at most — and under concurrency well below —
+// the number of records appended.
+func (j *Journal) Flushes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushes
+}
+
+// FlushedRecords returns the records made durable since open
+// (excluding replayed ones). FlushedRecords/Flushes is the average
+// commit group size.
+func (j *Journal) FlushedRecords() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushedRecords
+}
+
 // Path returns the journal file path.
 func (j *Journal) Path() string { return j.path }
 
-// Close closes the journal file. Appends after Close fail; they do not
-// panic, so a crashing server can be abandoned mid-operation.
+// Close closes the journal file after any in-flight flush finishes.
+// Appends after Close fail; they do not panic, so a crashing server
+// can be abandoned mid-operation. Records in groups that have not
+// started flushing are dropped with an error to their appenders —
+// none of them was ever acknowledged durable.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	for j.flushing {
+		j.cond.Wait()
+	}
 	if j.f == nil {
+		j.mu.Unlock()
 		return nil
 	}
-	err := j.f.Close()
+	f := j.f
 	j.f = nil
-	return err
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	return f.Close()
 }
 
 // syncDir fsyncs a directory so a rename within it is durable;

@@ -82,8 +82,16 @@ type resultEntry struct {
 // deterministic for identical on-disk states. Either bound <= 0 means
 // "no bound on that axis".
 func OpenResults(dir string, maxEntries int, maxBytes int64) (*Results, error) {
+	_, statErr := os.Stat(dir)
+	created := errors.Is(statErr, os.ErrNotExist)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	if created {
+		// The store directory itself must be durable before the first
+		// Put fsyncs a rename inside it — otherwise a crash could drop
+		// the whole directory along with every "durably" stored result.
+		syncDir(filepath.Dir(dir))
 	}
 	s := &Results{
 		dir:        dir,

@@ -10,8 +10,11 @@
 #   bash scripts/bench_gate.sh
 #
 # Environment knobs (forwarded to benchgate):
-#   MAX_REGRESS      percent ns/op growth tolerated (default 10)
-#   MIN_PSP_SPEEDUP  ProfilePSP striped-vs-scalar floor (default 2.0)
+#   MAX_REGRESS        percent ns/op growth tolerated (default 10)
+#   MIN_PSP_SPEEDUP    ProfilePSP striped-vs-scalar floor (default 2.0)
+#   MAX_JOURNAL_FSYNCS journal fsyncs-per-record ceiling at
+#                      concurrency >= 8 (default 1.0: concurrent
+#                      appends must share commit groups)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,4 +38,5 @@ echo "bench_gate: gating on ${args[*]}"
 go run ./cmd/benchgate \
   -max-regress "${MAX_REGRESS:-10}" \
   -min-psp-speedup "${MIN_PSP_SPEEDUP:-2.0}" \
+  -max-journal-fsyncs "${MAX_JOURNAL_FSYNCS:-1.0}" \
   "${args[@]}"

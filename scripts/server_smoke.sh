@@ -6,7 +6,12 @@
 # (identical resubmission answered instantly) and restart recovery:
 # the server is stopped and restarted on the same data directory, and
 # the pre-restart result must be served from disk — byte-identical,
-# with zero alignments recomputed (asserted via /metrics). Observability
+# with zero alignments recomputed (asserted via /metrics). A batch pass
+# POSTs two inputs (one already cached) to /v1/batch in a single
+# request, checks the cached member is answered terminal immediately,
+# diffs the fresh member against the batch CLI, and asserts the
+# group-commit journal metrics (fsyncs, flushed records, group-size
+# histogram) are live. Observability
 # is smoked end-to-end too: the job's span tree at /v1/jobs/{id}/trace
 # must cover all five pipeline stages with positive durations, the same
 # stages must show up as samplealign_stage_seconds histograms on
@@ -104,6 +109,35 @@ echo "== sync endpoint =="
 curl -fsS --data-binary @"$WORK/in.fa" "$BASE/v1/align?procs=3" -o "$WORK/sync.fa"
 diff "$WORK/batch.fa" "$WORK/sync.fa"
 
+echo "== batch endpoint: many inputs in one request =="
+# Two inputs: in.fa is already cached (a batch member may be served
+# terminal straight from the cache) and in2.fa is fresh work. Both ride
+# one POST and their submit records ride one journal commit group.
+"$WORK/seqgen" -kind family -n 40 -len 80 -seed 7 -out "$WORK/in2.fa"
+"$WORK/samplealign" -in "$WORK/in2.fa" -p 3 -out "$WORK/batch2.fa"
+python3 - "$WORK/in.fa" "$WORK/in2.fa" >"$WORK/batchreq.json" <<'PY'
+import json, sys
+inputs = [{"fasta": open(p).read()} for p in sys.argv[1:]]
+json.dump({"inputs": inputs}, sys.stdout)
+PY
+BATCH=$(curl -fsS -H 'Content-Type: application/json' \
+  --data-binary @"$WORK/batchreq.json" "$BASE/v1/batch?procs=3")
+mapfile -t BIDS < <(echo "$BATCH" | grep -o '"id": *"[^"]*"' | sed 's/.*"\(j[^"]*\)"/\1/')
+[ "${#BIDS[@]}" -eq 2 ] || { echo "batch returned ${#BIDS[@]} job ids, want 2: $BATCH"; exit 1; }
+echo "$BATCH" | grep -q '"cached": true' || { echo "cached member not served from cache: $BATCH"; exit 1; }
+for _ in $(seq 1 600); do
+  BSTATE=$(curl -fsS "$BASE/v1/jobs/${BIDS[1]}" | json_field state)
+  case "$BSTATE" in
+    done) break ;;
+    failed|canceled) echo "batch member ended $BSTATE"; curl -fsS "$BASE/v1/jobs/${BIDS[1]}"; exit 1 ;;
+    *) sleep 0.1 ;;
+  esac
+done
+[ "$BSTATE" = done ] || { echo "batch member stuck in $BSTATE"; exit 1; }
+curl -fsS "$BASE/v1/jobs/${BIDS[1]}/result" -o "$WORK/batchout.fa"
+diff "$WORK/batch2.fa" "$WORK/batchout.fa"
+echo "batch member byte-identical to samplealign output"
+
 echo "== metrics sanity =="
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q '^samplealign_cache_hits_total [1-9]' || { echo "no cache hits recorded"; exit 1; }
@@ -115,6 +149,11 @@ for STAGE in distmatrix guidetree decompose bucketalign merge; do
 done
 echo "$METRICS" | grep -q '^samplealign_comm_sent_bytes_total [0-9]' || { echo "no comm sent counter"; exit 1; }
 echo "$METRICS" | grep -q '^samplealign_comm_recv_bytes_total [0-9]' || { echo "no comm recv counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_batch_requests_total [1-9]' || { echo "no batch request counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_batch_jobs_total [2-9]' || { echo "batch jobs not counted"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_journal_fsyncs_total [1-9]' || { echo "no journal fsync counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_journal_flushed_records_total [1-9]' || { echo "no journal flushed-records counter"; exit 1; }
+echo "$METRICS" | grep -q '^samplealign_journal_group_records_bucket' || { echo "no journal group-size histogram"; exit 1; }
 
 echo "== restart recovery: stop (SIGTERM drain), restart on the same data dir =="
 kill -TERM $SRV

@@ -46,6 +46,15 @@ type ServerConfig struct {
 	StoreEntries int   // disk store entry bound (default 4096; -1 disables the disk tier)
 	StoreBytes   int64 // disk store byte bound (default 1 GiB; -1 unbounded)
 
+	// Journal group commit: concurrent journal appends share one
+	// write+fsync. JournalBatchBytes caps the framed bytes per commit
+	// group (default 1 MiB); JournalBatchWait is how long a group
+	// leader waits for followers before fsyncing (default 0 — groups
+	// then form only from appenders arriving during an in-flight
+	// flush, adding no latency when the journal is idle).
+	JournalBatchBytes int
+	JournalBatchWait  time.Duration
+
 	// DrainTimeout bounds the graceful-shutdown drain: how long
 	// ListenAndServe waits for queued and running jobs to finish after
 	// its context is canceled before hard-canceling the rest (default
@@ -105,16 +114,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			MaxProcs:     cfg.MaxProcs,
 			WorkerBudget: cfg.WorkerBudget,
 		},
-		MaxConcurrent: cfg.MaxConcurrent,
-		MaxQueued:     cfg.MaxQueued,
-		CacheEntries:  cfg.CacheEntries,
-		CacheBytes:    cfg.CacheBytes,
-		DataDir:       cfg.DataDir,
-		StoreEntries:  cfg.StoreEntries,
-		StoreBytes:    cfg.StoreBytes,
-		Logger:        cfg.Logger,
-		Logf:          cfg.Logf,
-		NoTrace:       cfg.NoTrace,
+		MaxConcurrent:     cfg.MaxConcurrent,
+		MaxQueued:         cfg.MaxQueued,
+		CacheEntries:      cfg.CacheEntries,
+		CacheBytes:        cfg.CacheBytes,
+		DataDir:           cfg.DataDir,
+		StoreEntries:      cfg.StoreEntries,
+		StoreBytes:        cfg.StoreBytes,
+		JournalBatchBytes: cfg.JournalBatchBytes,
+		JournalBatchWait:  cfg.JournalBatchWait,
+		Logger:            cfg.Logger,
+		Logf:              cfg.Logf,
+		NoTrace:           cfg.NoTrace,
 	}
 	if len(cfg.ClusterWorkers) > 0 {
 		sc.Executor = &serve.Cluster{Workers: cfg.ClusterWorkers, SelfAddr: cfg.ClusterSelf}
@@ -166,6 +177,9 @@ func (s *Server) Drain(timeout time.Duration) bool { return s.inner.Drain(timeou
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs             submit (async) → 202 + job status JSON
+//	POST   /v1/batch            submit many inputs in one request
+//	                            (all-or-nothing admission, one journal
+//	                            commit group) → per-input job statuses
 //	GET    /v1/jobs/{id}        status
 //	GET    /v1/jobs/{id}/result aligned FASTA
 //	GET    /v1/jobs/{id}/trace  span-tree JSON of the finished run
